@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: sensitivity of Linebacker to its Table-3 parameter choices —
+ * the load-classification hit threshold, the monitoring window length,
+ * and the IPC variation bounds.
+ *
+ * The paper sets these empirically (20%, 50k cycles, +/-10%); this bench
+ * shows the neighborhood is flat enough that the mechanism is not a
+ * knife-edge tuning artifact. Geometric means are over the
+ * cache-sensitive applications, normalized to the baseline.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace
+{
+
+double
+lbGeomeanOverBaseline(lbsim::SimRunner &runner)
+{
+    using namespace lbsim;
+    std::vector<double> ratios;
+    for (const AppProfile &app : cacheSensitiveApps()) {
+        const double base =
+            runner.run(app, SchemeConfig::baseline()).ipc;
+        if (base <= 0)
+            continue;
+        ratios.push_back(runner.run(app, SchemeConfig::linebacker()).ipc /
+                         base);
+    }
+    return geomean(ratios);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Ablation",
+                      "Linebacker sensitivity to Table-3 parameters "
+                      "(GM over cache-sensitive apps, vs baseline)");
+
+    TextTable table;
+    table.setHeader({"parameter", "value", "LB speedup"});
+
+    for (double threshold : {0.10, 0.20, 0.40}) {
+        LbConfig lb;
+        lb.hitRatioThreshold = threshold;
+        SimRunner runner(benchGpuConfig(), lb, benchRunnerOptions());
+        table.addRow({"hit threshold", fmtPercent(threshold, 0),
+                      fmtSpeedup(lbGeomeanOverBaseline(runner))});
+    }
+    for (Cycle period : {25000u, 50000u, 100000u}) {
+        LbConfig lb;
+        lb.monitorPeriod = period;
+        SimRunner runner(benchGpuConfig(), lb, benchRunnerOptions());
+        table.addRow({"monitor period", std::to_string(period),
+                      fmtSpeedup(lbGeomeanOverBaseline(runner))});
+    }
+    for (double bound : {0.05, 0.10, 0.20}) {
+        LbConfig lb;
+        lb.ipcVarUpper = bound;
+        lb.ipcVarLower = -bound;
+        SimRunner runner(benchGpuConfig(), lb, benchRunnerOptions());
+        table.addRow({"IPC variation bound",
+                      "+/-" + fmtPercent(bound, 0),
+                      fmtSpeedup(lbGeomeanOverBaseline(runner))});
+    }
+
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n  paper default: threshold 20%%, period 50000, "
+                "bounds +/-10%%\n");
+    return 0;
+}

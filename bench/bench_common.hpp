@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared setup for the figure-reproduction benches.
+ *
+ * Every bench simulates the same scaled chip (2 SMs, shared resources
+ * scaled, 300k-cycle warm-up + 700k measured cycles) so results compose
+ * across binaries, and shares the on-disk memo cache so the Best-SWL
+ * oracle sweep is paid once.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/oracle.hpp"
+#include "harness/report.hpp"
+#include "harness/sim_runner.hpp"
+#include "workload/suite.hpp"
+
+namespace lbsim::bench
+{
+
+/** Standard bench configuration (see DESIGN.md scaling note). */
+inline GpuConfig
+benchGpuConfig()
+{
+    GpuConfig cfg;
+    cfg.warmupCycles = 200000;
+    return cfg;
+}
+
+inline RunnerOptions
+benchRunnerOptions()
+{
+    RunnerOptions options;
+    options.simSms = 2;
+    options.maxCycles = 400000;
+    options.useMemoCache = true;
+    return options;
+}
+
+/** Standard runner for figure benches. */
+inline SimRunner
+benchRunner()
+{
+    return SimRunner(benchGpuConfig(), LbConfig{}, benchRunnerOptions());
+}
+
+/** Best-SWL metrics for @p app (oracle sweep, memoized). */
+inline RunMetrics
+bestSwlMetrics(SimRunner &runner, const AppProfile &app)
+{
+    return findBestSwl(runner, app).bestMetrics;
+}
+
+/** Table-2 app order: sensitive block then insensitive block. */
+inline std::vector<std::string>
+appOrder()
+{
+    std::vector<std::string> order;
+    for (const AppProfile &app : benchmarkSuite())
+        order.push_back(app.id);
+    return order;
+}
+
+} // namespace lbsim::bench

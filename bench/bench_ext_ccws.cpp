@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Extension: CCWS-lite (the dynamic warp-throttling scheme that
+ * Best-SWL idealizes) against Best-SWL and Linebacker.
+ *
+ * The paper cites CCWS as the representative prior warp-throttling
+ * technique and notes Best-SWL outperforms it; this bench verifies the
+ * same ordering holds here: CCWS between baseline and the Best-SWL
+ * oracle, Linebacker above both.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Extension",
+                      "CCWS-lite vs Best-SWL vs Linebacker "
+                      "(normalized to baseline)");
+
+    SimRunner runner = benchRunner();
+    ComparisonReport report;
+    report.setAppOrder(appOrder());
+
+    for (const AppProfile &app : benchmarkSuite()) {
+        report.add(app.id, "Baseline",
+                   runner.run(app, SchemeConfig::baseline()).ipc);
+        report.add(app.id, "CCWS",
+                   runner.run(app, SchemeConfig::ccws()).ipc);
+        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
+        report.add(app.id, "Linebacker",
+                   runner.run(app, SchemeConfig::linebacker()).ipc);
+    }
+
+    std::fputs(report.renderNormalized("Baseline").c_str(), stdout);
+
+    const double ccws = report.geomeanVs("CCWS", "Baseline");
+    const double swl = report.geomeanVs("Best-SWL", "Baseline");
+    const double lb = report.geomeanVs("Linebacker", "Baseline");
+    std::printf("\n  ordering check (paper: baseline <= CCWS <= "
+                "Best-SWL < Linebacker):\n");
+    std::printf("  measured: CCWS %.3fx, Best-SWL %.3fx, Linebacker "
+                "%.3fx\n",
+                ccws, swl, lb);
+    return 0;
+}

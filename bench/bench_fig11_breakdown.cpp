@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 11: performance contribution of Linebacker's techniques —
+ * plain Victim Caching, Selective Victim Caching (SVC), and CTA
+ * Throttling + SVC (full Linebacker) — normalized to Best-SWL.
+ *
+ * Paper: SVC beats plain victim caching by >7% on the streaming-heavy
+ * apps (BI, BC, BG, SR2, SP); adding CTA throttling contributes a
+ * further +7.7% on average.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Figure 11",
+                      "Linebacker technique breakdown (normalized to "
+                      "Best-SWL)");
+
+    SimRunner runner = benchRunner();
+    ComparisonReport report;
+    report.setAppOrder(appOrder());
+
+    for (const AppProfile &app : benchmarkSuite()) {
+        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
+        report.add(app.id, "Victim Caching",
+                   runner.run(app, SchemeConfig::victimCachingAll()).ipc);
+        report.add(
+            app.id, "Selective Victim Caching",
+            runner.run(app, SchemeConfig::selectiveVictimCaching()).ipc);
+        report.add(app.id, "Throttling+SVC",
+                   runner.run(app, SchemeConfig::linebacker()).ipc);
+    }
+
+    std::fputs(report.renderNormalized("Best-SWL").c_str(), stdout);
+
+    const double vc = report.geomeanVs("Victim Caching", "Best-SWL");
+    const double svc =
+        report.geomeanVs("Selective Victim Caching", "Best-SWL");
+    const double full = report.geomeanVs("Throttling+SVC", "Best-SWL");
+    std::printf("\nPaper vs measured:\n");
+    printPaperVsMeasured("SVC gain over plain VC (%)", 0.0,
+                         100.0 * (svc / vc - 1.0), "");
+    printPaperVsMeasured("Throttling gain over SVC (%)", 7.7,
+                         100.0 * (full / svc - 1.0), "");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 12: performance of baseline, Best-SWL, PCAL, CERF, and
+ * Linebacker across the 20-application suite, normalized to Best-SWL.
+ *
+ * Paper results: Linebacker +29.0% over Best-SWL (best of all); PCAL
+ * +7.6%; CERF +19.6%; baseline at 1/1.115 of Best-SWL.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Figure 12",
+                      "Performance comparison (normalized to Best-SWL)");
+
+    SimRunner runner = benchRunner();
+    ComparisonReport report;
+    report.setAppOrder(appOrder());
+
+    for (const AppProfile &app : benchmarkSuite()) {
+        report.add(app.id, "Baseline",
+                   runner.run(app, SchemeConfig::baseline()).ipc);
+        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
+        report.add(app.id, "PCAL",
+                   runner.run(app, SchemeConfig::pcal()).ipc);
+        report.add(app.id, "CERF",
+                   runner.run(app, SchemeConfig::cerf()).ipc);
+        report.add(app.id, "Linebacker",
+                   runner.run(app, SchemeConfig::linebacker()).ipc);
+    }
+
+    std::fputs(report.renderNormalized("Best-SWL").c_str(), stdout);
+
+    std::printf("\nPaper vs measured (speedup over Best-SWL):\n");
+    printPaperVsMeasured("Linebacker", 1.290,
+                         report.geomeanVs("Linebacker", "Best-SWL"), "x");
+    printPaperVsMeasured("CERF", 1.196,
+                         report.geomeanVs("CERF", "Best-SWL"), "x");
+    printPaperVsMeasured("PCAL", 1.076,
+                         report.geomeanVs("PCAL", "Best-SWL"), "x");
+    printPaperVsMeasured("Best-SWL over baseline", 1.115,
+                         1.0 / report.geomeanVs("Baseline", "Best-SWL"),
+                         "x");
+    return 0;
+}

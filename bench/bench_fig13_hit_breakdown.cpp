@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 13: breakdown of memory-request outcomes — L1 hit, miss,
+ * bypass, and victim-cache ("Reg") hit — for baseline (B), Best-SWL (S),
+ * PCAL (P), CERF (C), and Linebacker (L).
+ *
+ * Paper: Linebacker's aggregate hit ratio (L1 + Reg) is 65.1%, with
+ * 40.4% of accesses served as Reg hits; CERF reaches 57.9%.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+namespace
+{
+
+struct Breakdown
+{
+    double hit = 0;
+    double regHit = 0;
+    double miss = 0;
+    double bypass = 0;
+};
+
+Breakdown
+breakdownOf(const lbsim::RunMetrics &m)
+{
+    const auto &l1 = m.stats.l1;
+    const double total = static_cast<double>(l1.total());
+    if (total == 0)
+        return {};
+    return {l1.l1Hits / total, l1.regHits / total, l1.misses / total,
+            l1.bypasses / total};
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Figure 13",
+                      "L1 hit / victim (Reg) hit / miss / bypass "
+                      "breakdown (B: baseline, S: Best-SWL, P: PCAL, "
+                      "C: CERF, L: Linebacker)");
+
+    SimRunner runner = benchRunner();
+    TextTable table;
+    table.setHeader({"app", "scheme", "L1 hit", "Reg hit", "miss",
+                     "bypass"});
+
+    Breakdown lb_sum;
+    Breakdown cerf_sum;
+    const double n = static_cast<double>(benchmarkSuite().size());
+
+    for (const AppProfile &app : benchmarkSuite()) {
+        const std::pair<const char *, SchemeConfig> schemes[] = {
+            {"B", SchemeConfig::baseline()},
+            {"S", SchemeConfig::bestSwl(
+                      findBestSwl(runner, app).bestLimit)},
+            {"P", SchemeConfig::pcal()},
+            {"C", SchemeConfig::cerf()},
+            {"L", SchemeConfig::linebacker()},
+        };
+        for (const auto &[tag, scheme] : schemes) {
+            const Breakdown b = breakdownOf(runner.run(app, scheme));
+            table.addRow({app.id, tag, fmtPercent(b.hit),
+                          fmtPercent(b.regHit), fmtPercent(b.miss),
+                          fmtPercent(b.bypass)});
+            if (tag[0] == 'L') {
+                lb_sum.hit += b.hit;
+                lb_sum.regHit += b.regHit;
+            } else if (tag[0] == 'C') {
+                cerf_sum.hit += b.hit;
+                cerf_sum.regHit += b.regHit;
+            }
+        }
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\nPaper vs measured:\n");
+    printPaperVsMeasured("Linebacker L1+Reg hit ratio", 65.1,
+                         100.0 * (lb_sum.hit + lb_sum.regHit) / n, "%");
+    printPaperVsMeasured("Linebacker Reg-hit share of accesses", 40.4,
+                         100.0 * lb_sum.regHit / n, "%");
+    printPaperVsMeasured("CERF hit ratio", 57.9,
+                         100.0 * (cerf_sum.hit + cerf_sum.regHit) / n,
+                         "%");
+    return 0;
+}

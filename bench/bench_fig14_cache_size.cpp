@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 14: Linebacker and CERF speedups across L1 cache sizes
+ * (16/48/64/96/128 KB), each normalized to the baseline with the same
+ * cache size.
+ *
+ * Paper: Linebacker gains shrink from +78.0% at 16 KB to +12.0% at
+ * 128 KB; CERF from +58.1% to +6.1%; Linebacker wins at every size.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Figure 14",
+                      "Speedup vs same-cache-size baseline across L1 "
+                      "sizes (geometric mean over the suite)");
+
+    TextTable table;
+    table.setHeader({"L1 size", "CERF", "Linebacker"});
+
+    double lb16 = 0;
+    double lb128 = 0;
+    for (std::uint32_t kb : {16u, 48u, 64u, 96u, 128u}) {
+        GpuConfig cfg = benchGpuConfig();
+        cfg.l1.sizeBytes = kb * 1024;
+        SimRunner runner(cfg, LbConfig{}, benchRunnerOptions());
+
+        std::vector<double> cerf_ratios;
+        std::vector<double> lb_ratios;
+        for (const AppProfile &app : benchmarkSuite()) {
+            const double base =
+                runner.run(app, SchemeConfig::baseline()).ipc;
+            if (base <= 0)
+                continue;
+            cerf_ratios.push_back(
+                runner.run(app, SchemeConfig::cerf()).ipc / base);
+            lb_ratios.push_back(
+                runner.run(app, SchemeConfig::linebacker()).ipc / base);
+        }
+        const double cerf_gm = geomean(cerf_ratios);
+        const double lb_gm = geomean(lb_ratios);
+        if (kb == 16)
+            lb16 = lb_gm;
+        if (kb == 128)
+            lb128 = lb_gm;
+        table.addRow({std::to_string(kb) + "KB", fmtSpeedup(cerf_gm),
+                      fmtSpeedup(lb_gm)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\nPaper vs measured (Linebacker over baseline):\n");
+    printPaperVsMeasured("16KB L1", 1.780, lb16, "x");
+    printPaperVsMeasured("128KB L1", 1.120, lb128, "x");
+    std::printf("  shape check: gains should shrink as the L1 grows\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 15: combinations of prior warp scheduling and cache structures
+ * — Baseline+SVC, PCAL+CERF, PCAL+SVC, Linebacker, and LB+CacheExt —
+ * normalized to Best-SWL.
+ *
+ * Paper: PCAL+CERF +21.3%, PCAL+SVC +25.1%, Linebacker +29.0%,
+ * LB+CacheExt +41.9% over Best-SWL.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Figure 15",
+                      "Scheduling x cache-structure combinations "
+                      "(normalized to Best-SWL)");
+
+    SimRunner runner = benchRunner();
+    ComparisonReport report;
+    report.setAppOrder(appOrder());
+
+    for (const AppProfile &app : benchmarkSuite()) {
+        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
+        report.add(
+            app.id, "Baseline+SVC",
+            runner.run(app, SchemeConfig::selectiveVictimCaching()).ipc);
+        report.add(app.id, "PCAL+CERF",
+                   runner.run(app, SchemeConfig::pcalCerf()).ipc);
+        report.add(app.id, "PCAL+SVC",
+                   runner.run(app, SchemeConfig::pcalSvc()).ipc);
+        report.add(app.id, "Linebacker",
+                   runner.run(app, SchemeConfig::linebacker()).ipc);
+        report.add(app.id, "LB+CacheExt",
+                   runner.run(app, SchemeConfig::linebackerCacheExt())
+                       .ipc);
+    }
+
+    std::fputs(report.renderNormalized("Best-SWL").c_str(), stdout);
+
+    std::printf("\nPaper vs measured (speedup over Best-SWL):\n");
+    printPaperVsMeasured("PCAL+CERF", 1.213,
+                         report.geomeanVs("PCAL+CERF", "Best-SWL"), "x");
+    printPaperVsMeasured("PCAL+SVC", 1.251,
+                         report.geomeanVs("PCAL+SVC", "Best-SWL"), "x");
+    printPaperVsMeasured("Linebacker", 1.290,
+                         report.geomeanVs("Linebacker", "Best-SWL"),
+                         "x");
+    printPaperVsMeasured("LB+CacheExt", 1.419,
+                         report.geomeanVs("LB+CacheExt", "Best-SWL"),
+                         "x");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 17: off-chip memory traffic of CERF and Linebacker normalized
+ * to the baseline, including Linebacker's register backup/restore
+ * overhead.
+ *
+ * Paper: Linebacker reduces off-chip traffic by 24.0% vs baseline (4.6%
+ * more than CERF); backup/restore overhead stays below 1% of traffic in
+ * every application.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+    using namespace lbsim::bench;
+
+    printFigureBanner("Figure 17",
+                      "Off-chip memory traffic (normalized to "
+                      "baseline)");
+
+    SimRunner runner = benchRunner();
+    TextTable table;
+    table.setHeader({"app", "CERF", "Linebacker", "LB overhead"});
+    std::vector<double> cerf_ratios;
+    std::vector<double> lb_ratios;
+    double worst_overhead = 0.0;
+    for (const AppProfile &app : benchmarkSuite()) {
+        // Traffic per instruction, so run length cancels out.
+        const auto traffic = [](const RunMetrics &m) {
+            return m.stats.instructionsIssued
+                ? m.stats.dramTrafficBytes() / m.stats.instructionsIssued
+                : 0.0;
+        };
+        const double base =
+            traffic(runner.run(app, SchemeConfig::baseline()));
+        if (base <= 0)
+            continue;
+        const RunMetrics cerf_m = runner.run(app, SchemeConfig::cerf());
+        const RunMetrics lb_m =
+            runner.run(app, SchemeConfig::linebacker());
+        const double cerf = traffic(cerf_m) / base;
+        const double lb = traffic(lb_m) / base;
+        const double overhead =
+            static_cast<double>(lb_m.stats.dramBackupWrites +
+                                lb_m.stats.dramRestoreReads) /
+            std::max<std::uint64_t>(1, lb_m.stats.dramLineTransfers());
+        worst_overhead = std::max(worst_overhead, overhead);
+        cerf_ratios.push_back(cerf);
+        lb_ratios.push_back(lb);
+        table.addRow({app.id, fmtDouble(cerf), fmtDouble(lb),
+                      fmtPercent(overhead, 2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    std::printf("\nPaper vs measured (traffic vs baseline):\n");
+    printPaperVsMeasured("Linebacker", 0.760, geomean(lb_ratios), "x");
+    printPaperVsMeasured("CERF", 0.806, geomean(cerf_ratios), "x");
+    std::printf("  worst backup/restore overhead: paper <1%%, measured "
+                "%.2f%%\n",
+                100.0 * worst_overhead);
+    return 0;
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot structures:
+ * tag-array probes, VTT searches, register-file bank arbitration, DRAM
+ * channel scheduling, Load Monitor updates, address-pattern generation,
+ * and a whole simulated GPU cycle.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/gpu.hpp"
+#include "lb/load_monitor.hpp"
+#include "lb/victim_tag_table.hpp"
+#include "mem/dram.hpp"
+#include "mem/tag_array.hpp"
+#include "workload/suite.hpp"
+
+namespace
+{
+
+using namespace lbsim;
+
+void
+BM_TagArrayAccess(benchmark::State &state)
+{
+    TagArray tags(48, static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(42);
+    // Pre-fill.
+    for (int i = 0; i < 2000; ++i)
+        tags.insert(rng.below(4096) * kLineBytes, 0, i);
+    Cycle now = 2000;
+    for (auto _ : state) {
+        const Addr addr = rng.below(4096) * kLineBytes;
+        if (!tags.access(addr, 0, now))
+            tags.insert(addr, 0, now);
+        ++now;
+    }
+}
+BENCHMARK(BM_TagArrayAccess)->Arg(4)->Arg(8)->Arg(32);
+
+void
+BM_VttProbe(benchmark::State &state)
+{
+    GpuConfig gpu;
+    LbConfig lb;
+    SimStats stats;
+    VictimTagTable vtt(gpu, lb, &stats);
+    vtt.setActivePartitions(static_cast<std::uint32_t>(state.range(0)));
+    Rng rng(7);
+    RegNum reg = 0;
+    for (int i = 0; i < 1000; ++i)
+        vtt.insert(rng.below(8192) * kLineBytes, i, reg);
+    Cycle now = 1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            vtt.probe(rng.below(8192) * kLineBytes, now));
+        ++now;
+    }
+}
+BENCHMARK(BM_VttProbe)->Arg(1)->Arg(4)->Arg(8);
+
+void
+BM_RegisterFileArbitration(benchmark::State &state)
+{
+    GpuConfig cfg;
+    SimStats stats;
+    RegisterFile rf(cfg, &stats);
+    Rng rng(3);
+    Cycle now = 0;
+    for (auto _ : state) {
+        rf.beginCycle(now);
+        for (int i = 0; i < 8; ++i) {
+            benchmark::DoNotOptimize(rf.accessOperands(
+                static_cast<RegNum>(rng.below(2040)), 3, now));
+        }
+        ++now;
+    }
+}
+BENCHMARK(BM_RegisterFileArbitration);
+
+void
+BM_DramChannelTick(benchmark::State &state)
+{
+    GpuConfig cfg;
+    SimStats stats;
+    DramChannel dram(cfg, 0, &stats);
+    Rng rng(9);
+    Cycle now = 0;
+    std::vector<DramCompletion> done;
+    for (auto _ : state) {
+        while (dram.canAccept()) {
+            dram.enqueue({rng.below(1 << 20) * kLineBytes, false,
+                          RequestKind::DataRead, 0, now},
+                         now);
+        }
+        dram.tick(now);
+        done.clear();
+        dram.drainCompleted(now, done);
+        benchmark::DoNotOptimize(done.size());
+        ++now;
+    }
+}
+BENCHMARK(BM_DramChannelTick);
+
+void
+BM_LoadMonitorRecord(benchmark::State &state)
+{
+    LbConfig lb;
+    LoadMonitor lm(lb);
+    Rng rng(11);
+    for (auto _ : state) {
+        lm.recordAccess(static_cast<Pc>(rng.below(32) * 4),
+                        static_cast<std::uint8_t>(rng.below(32)),
+                        rng.chance(0.4));
+    }
+}
+BENCHMARK(BM_LoadMonitorRecord);
+
+void
+BM_PatternGeneration(benchmark::State &state)
+{
+    const AppProfile &app = appById("BC");
+    GpuConfig cfg;
+    const KernelInfo kernel = app.buildKernel(cfg);
+    AccessContext ctx;
+    std::vector<Addr> lines;
+    std::uint32_t iter = 0;
+    for (auto _ : state) {
+        ctx.globalCtaId = iter % 64;
+        ctx.warpInCta = iter % 8;
+        ctx.iteration = iter;
+        lines.clear();
+        kernel.patterns[iter % kernel.patterns.size()]->generate(ctx,
+                                                                 lines);
+        benchmark::DoNotOptimize(lines.size());
+        ++iter;
+    }
+}
+BENCHMARK(BM_PatternGeneration);
+
+void
+BM_GpuCycle(benchmark::State &state)
+{
+    GpuConfig cfg = GpuConfig{}.scaleTo(1);
+    cfg.maxCycles = 1; // Construction only; we tick manually.
+    Gpu gpu(cfg);
+    const AppProfile &app = appById("S2");
+    static const KernelInfo kernel = app.buildKernel(cfg);
+    gpu.runKernel(kernel); // Launch CTAs, then keep ticking below.
+    for (auto _ : state)
+        gpu.tick();
+}
+BENCHMARK(BM_GpuCycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table 1: print the simulated baseline GPU configuration.
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness/report.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+
+    printFigureBanner("Table 1", "Simulation configuration");
+
+    const GpuConfig cfg;
+    TextTable table;
+    table.setHeader({"parameter", "value"});
+    table.addRow({"# of SMs", std::to_string(cfg.numSms)});
+    table.addRow({"Clock freq.", fmtDouble(cfg.clockGhz * 1000, 0) +
+                                     " MHz"});
+    table.addRow({"SIMD width", std::to_string(cfg.simdWidth)});
+    table.addRow({"Max threads/warps/CTAs per SM",
+                  std::to_string(cfg.maxThreadsPerSm) + "/" +
+                      std::to_string(cfg.maxWarpsPerSm) + "/" +
+                      std::to_string(cfg.maxCtasPerSm)});
+    table.addRow({"Warp scheduling",
+                  "GTO, " + std::to_string(cfg.schedulersPerSm) +
+                      " schedulers per SM"});
+    table.addRow({"Register file/SM",
+                  fmtKb(cfg.registerFileBytesPerSm)});
+    table.addRow({"Shared memory/SM", fmtKb(cfg.sharedMemBytesPerSm)});
+    table.addRow({"L1 cache size/SM",
+                  fmtKb(cfg.l1.sizeBytes) + ", " +
+                      std::to_string(cfg.l1.ways) + "-way, " +
+                      std::to_string(cfg.l1.lineBytes) + "B line, " +
+                      std::to_string(cfg.l1MshrEntries) + " MSHRs"});
+    table.addRow({"L2 shared cache",
+                  std::to_string(cfg.l2.ways) + "-way, " +
+                      fmtKb(cfg.l2.sizeBytes)});
+    table.addRow({"Off-chip DRAM bandwidth",
+                  fmtDouble(cfg.dramBandwidthGBs, 1) + " GB/s"});
+    table.addRow({"DRAM timing",
+                  "RCD=" + std::to_string(cfg.dramTiming.rcd) +
+                      ",RP=" + std::to_string(cfg.dramTiming.rp) +
+                      ",RC=" + std::to_string(cfg.dramTiming.rc) +
+                      ",RRD=" + fmtDouble(cfg.dramTiming.rrd, 1) +
+                      ",CL=" + std::to_string(cfg.dramTiming.cl) +
+                      ",WR=" + std::to_string(cfg.dramTiming.wr) +
+                      ",RAS=" + std::to_string(cfg.dramTiming.ras)});
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 3: Linebacker's microarchitectural configuration.
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "harness/report.hpp"
+#include "power/energy_model.hpp"
+
+int
+main()
+{
+    using namespace lbsim;
+
+    printFigureBanner("Table 3",
+                      "Microarchitectural configuration of Linebacker");
+
+    const LbConfig lb;
+    const EnergyParams energy;
+    TextTable table;
+    table.setHeader({"parameter", "value"});
+    table.addRow({"IPC & per-load locality monitoring period",
+                  std::to_string(lb.monitorPeriod) + " cycles"});
+    table.addRow({"Cache hit threshold",
+                  fmtPercent(lb.hitRatioThreshold, 0)});
+    table.addRow({"IPC variation bounds",
+                  "Upper: " + fmtDouble(lb.ipcVarUpper, 2) +
+                      ", Lower: " + fmtDouble(lb.ipcVarLower, 2)});
+    table.addRow({"VTT configuration",
+                  std::to_string(lb.vttWays) +
+                      "-way set-associative VP / " +
+                      std::to_string(lb.vttMaxPartitions) + " VPs"});
+    table.addRow({"VP access latency",
+                  std::to_string(lb.vttAccessLatency) + " cycles"});
+    table.addRow({"Load Monitor entries",
+                  std::to_string(lb.loadMonitorEntries)});
+    table.addRow({"Backup buffer entries",
+                  std::to_string(lb.backupBufferEntries)});
+    table.addRow({"CTA manager access energy",
+                  fmtDouble(energy.ctaManagerAccessPj, 2) + " pJ"});
+    table.addRow({"HPC access energy",
+                  fmtDouble(energy.hpcAccessPj, 2) + " pJ"});
+    table.addRow({"LM access energy",
+                  fmtDouble(energy.loadMonitorAccessPj, 2) + " pJ"});
+    table.addRow({"VTT access energy",
+                  fmtDouble(energy.vttAccessPj, 2) + " pJ"});
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}

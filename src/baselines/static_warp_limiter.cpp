@@ -1,0 +1,7 @@
+#include "baselines/static_warp_limiter.hpp"
+
+// Header-only behaviour; this translation unit anchors the module.
+
+namespace lbsim
+{
+} // namespace lbsim

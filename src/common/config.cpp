@@ -1,0 +1,145 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+
+namespace lbsim
+{
+
+GpuConfig
+GpuConfig::scaleTo(std::uint32_t sms) const
+{
+    GpuConfig scaled = *this;
+    if (sms == 0 || sms == numSms)
+        return scaled;
+    const double ratio = static_cast<double>(sms) / numSms;
+    scaled.numSms = sms;
+    scaled.l2.sizeBytes = std::max<std::uint32_t>(
+        static_cast<std::uint32_t>(l2.sizeBytes * ratio),
+        l2.ways * l2.lineBytes);
+    scaled.numMemPartitions = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(numMemPartitions * ratio));
+    scaled.dramBandwidthGBs = dramBandwidthGBs * ratio;
+    return scaled;
+}
+
+SchemeConfig
+SchemeConfig::baseline()
+{
+    return SchemeConfig{};
+}
+
+SchemeConfig
+SchemeConfig::bestSwl(std::uint32_t warp_limit)
+{
+    SchemeConfig s;
+    s.name = "Best-SWL";
+    s.throttle = ThrottleMode::StaticWarp;
+    s.staticWarpLimit = warp_limit;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::ccws()
+{
+    SchemeConfig s;
+    s.name = "CCWS";
+    s.throttle = ThrottleMode::Ccws;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::pcal()
+{
+    SchemeConfig s;
+    s.name = "PCAL";
+    s.throttle = ThrottleMode::PcalTokens;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::cerf()
+{
+    SchemeConfig s;
+    s.name = "CERF";
+    s.cerfUnified = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::linebacker()
+{
+    SchemeConfig s;
+    s.name = "Linebacker";
+    s.throttle = ThrottleMode::DynamicCta;
+    s.victim = VictimMode::Selective;
+    s.useDynamicUnusedRegs = true;
+    s.backupRegisters = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::victimCachingAll()
+{
+    SchemeConfig s;
+    s.name = "Victim Caching";
+    s.victim = VictimMode::All;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::selectiveVictimCaching()
+{
+    SchemeConfig s;
+    s.name = "Selective Victim Caching";
+    s.victim = VictimMode::Selective;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::pcalSvc()
+{
+    SchemeConfig s;
+    s.name = "PCAL+SVC";
+    s.throttle = ThrottleMode::PcalTokens;
+    s.victim = VictimMode::Selective;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::pcalCerf()
+{
+    SchemeConfig s;
+    s.name = "PCAL+CERF";
+    s.throttle = ThrottleMode::PcalTokens;
+    s.cerfUnified = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::cacheExtension()
+{
+    SchemeConfig s;
+    s.name = "CacheExt";
+    s.cacheExt = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::bestSwlCacheExt(std::uint32_t warp_limit)
+{
+    SchemeConfig s = bestSwl(warp_limit);
+    s.name = "Best-SWL+CacheExt";
+    s.cacheExt = true;
+    return s;
+}
+
+SchemeConfig
+SchemeConfig::linebackerCacheExt()
+{
+    SchemeConfig s = linebacker();
+    s.name = "LB+CacheExt";
+    s.cacheExt = true;
+    return s;
+}
+
+} // namespace lbsim

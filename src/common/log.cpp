@@ -1,0 +1,63 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lbsim
+{
+
+namespace
+{
+bool g_verbose = false;
+} // namespace
+
+void
+setLogVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+logVerbose()
+{
+    return g_verbose;
+}
+
+void
+logMessage(LogLevel level, const char *fmt, ...)
+{
+    if (level == LogLevel::Inform && !g_verbose)
+        return;
+    std::fputs(level == LogLevel::Warn ? "warn: " : "info: ", stderr);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::fputs("panic: ", stderr);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fputs("fatal: ", stderr);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+} // namespace lbsim

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal logging / fatal-error helpers in the spirit of gem5's
+ * panic()/fatal()/warn() trio.
+ *
+ * panic(): a simulator bug; aborts.
+ * fatal(): a user/configuration error; exits cleanly with an error code.
+ * warn()/inform(): status messages on stderr, never fatal.
+ */
+
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace lbsim
+{
+
+/** Severity levels for logMessage(). */
+enum class LogLevel
+{
+    Inform,
+    Warn,
+};
+
+/** Global verbosity switch; benches silence Inform messages. */
+void setLogVerbose(bool verbose);
+bool logVerbose();
+
+/** printf-style message at @p level (stderr). */
+void logMessage(LogLevel level, const char *fmt, ...);
+
+/** Report a simulator bug and abort(). */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Report a user/configuration error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Convenience wrappers. */
+#define LBSIM_INFORM(...) \
+    ::lbsim::logMessage(::lbsim::LogLevel::Inform, __VA_ARGS__)
+#define LBSIM_WARN(...) \
+    ::lbsim::logMessage(::lbsim::LogLevel::Warn, __VA_ARGS__)
+
+} // namespace lbsim

@@ -1,0 +1,9 @@
+#include "common/stats.hpp"
+
+// SimStats is a plain counter bag; all logic lives inline in the header.
+// This translation unit exists so the library has a stable object for the
+// module and a home for future out-of-line helpers.
+
+namespace lbsim
+{
+} // namespace lbsim

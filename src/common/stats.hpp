@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Statistics collection for a simulation run.
+ *
+ * SimStats is a flat bag of counters updated by the microarchitecture
+ * models; the harness derives paper metrics (IPC, hit ratios, traffic,
+ * energy) from it. Keeping every counter in one struct makes it trivial
+ * for benches to diff runs and for tests to assert invariants.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace lbsim
+{
+
+/** Outcome classes of an L1 data-cache access (Fig 13 breakdown). */
+struct AccessBreakdown
+{
+    std::uint64_t l1Hits = 0;       ///< Hits in the L1 tag array.
+    std::uint64_t regHits = 0;      ///< Victim-cache hits (register file).
+    std::uint64_t misses = 0;       ///< Misses sent to L2/DRAM.
+    std::uint64_t bypasses = 0;     ///< PCAL bypass accesses.
+
+    std::uint64_t
+    total() const
+    {
+        return l1Hits + regHits + misses + bypasses;
+    }
+};
+
+/** All counters produced by one simulation run. */
+struct SimStats
+{
+    // --- Progress -------------------------------------------------------
+    Cycle cycles = 0;
+    std::uint64_t instructionsIssued = 0;
+    std::uint64_t warpInstructionsRetired = 0;
+    std::uint64_t ctasCompleted = 0;
+
+    // --- L1 behaviour ---------------------------------------------------
+    AccessBreakdown l1;
+    std::uint64_t coldMisses = 0;          ///< First-touch line misses.
+    std::uint64_t capacityMisses = 0;      ///< Re-fetch of evicted lines.
+    std::uint64_t evictions = 0;
+    std::uint64_t writeEvicts = 0;         ///< Store hits invalidating L1.
+    std::uint64_t writeNoAllocates = 0;    ///< Store misses sent downstream.
+
+    // --- Victim cache ---------------------------------------------------
+    std::uint64_t victimLinesStored = 0;
+    std::uint64_t victimStoreRejected = 0; ///< No free victim space.
+    std::uint64_t victimInvalidations = 0; ///< Store hits on victim lines.
+    std::uint64_t vttProbes = 0;
+    std::uint64_t vttProbeCycles = 0;      ///< Sequential-search latency.
+
+    // --- Load latency ----------------------------------------------------
+    std::uint64_t loadLatencySum = 0;   ///< Issue-to-data cycles, summed.
+    std::uint64_t loadsCompleted = 0;
+
+    // --- Register file --------------------------------------------------
+    std::uint64_t rfAccesses = 0;
+    std::uint64_t rfBankConflicts = 0;
+    std::uint64_t rfVictimAccesses = 0;    ///< Victim line reads/writes.
+
+    // --- Downstream memory ----------------------------------------------
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Hits = 0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t dramBackupWrites = 0;    ///< LB register backup lines.
+    std::uint64_t dramRestoreReads = 0;    ///< LB register restore lines.
+    std::uint64_t dramRowHits = 0;
+    std::uint64_t dramRowMisses = 0;
+
+    // --- Throttling -----------------------------------------------------
+    std::uint64_t ctaThrottleEvents = 0;
+    std::uint64_t ctaActivateEvents = 0;
+    std::uint64_t monitoringPeriods = 0;   ///< LM windows until selection.
+    std::uint64_t selectedLoads = 0;       ///< High-locality loads chosen.
+
+    // --- Register-file occupancy (time-integrated, in register units) ---
+    double avgActiveRegisters = 0;         ///< Registers of active CTAs.
+    double avgVictimRegisters = 0;         ///< Registers holding victims.
+    double avgStaticallyUnusedRegisters = 0;
+    double avgDynamicallyUnusedRegisters = 0;
+
+    /** Average load issue-to-data latency in cycles. */
+    double
+    avgLoadLatency() const
+    {
+        return loadsCompleted
+            ? static_cast<double>(loadLatencySum) / loadsCompleted
+            : 0.0;
+    }
+
+    /** Instructions per cycle over the measured window. */
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructionsIssued) / cycles
+                      : 0.0;
+    }
+
+    /** Total off-chip line transfers including LB backup overhead. */
+    std::uint64_t
+    dramLineTransfers() const
+    {
+        return dramReads + dramWrites + dramBackupWrites +
+            dramRestoreReads;
+    }
+
+    /** Off-chip traffic in bytes. */
+    double
+    dramTrafficBytes() const
+    {
+        return static_cast<double>(dramLineTransfers()) * kLineBytes;
+    }
+};
+
+} // namespace lbsim

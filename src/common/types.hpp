@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fundamental types shared by every lbsim subsystem.
+ *
+ * The simulator models a GPU at line (128 B) granularity: all memory
+ * traffic, victim-cache storage, and register backup traffic is expressed
+ * in cache lines, matching the paper's observation that one warp register
+ * (32 threads x 4 B) equals one L1 cache line.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace lbsim
+{
+
+/** Byte address in the simulated global memory space. */
+using Addr = std::uint64_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Program counter of a static instruction. */
+using Pc = std::uint32_t;
+
+/** Physical warp-register number inside an SM register file. */
+using RegNum = std::uint32_t;
+
+/** Sentinel for "no cycle scheduled". */
+inline constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid addresses. */
+inline constexpr Addr kNoAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line size in bytes; also the size of one warp register. */
+inline constexpr std::uint32_t kLineBytes = 128;
+
+/** Number of threads per warp (SIMD width in Table 1). */
+inline constexpr std::uint32_t kWarpSize = 32;
+
+/** Returns the line-aligned address containing @p addr. */
+constexpr Addr
+lineAlign(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Returns the line index (address / 128) of @p addr. */
+constexpr Addr
+lineIndex(Addr addr)
+{
+    return addr / kLineBytes;
+}
+
+} // namespace lbsim

@@ -1,0 +1,45 @@
+#include "core/cta_dispatcher.hpp"
+
+#include "core/sm.hpp"
+
+namespace lbsim
+{
+
+CtaDispatcher::CtaDispatcher(const KernelInfo *kernel,
+                             std::vector<Sm *> sms)
+    : kernel_(kernel), sms_(std::move(sms)),
+      controllers_(sms_.size(), nullptr), remaining_(kernel->numCtas)
+{
+}
+
+void
+CtaDispatcher::setControllers(std::vector<SmControllerIf *> controllers)
+{
+    controllers_ = std::move(controllers);
+    controllers_.resize(sms_.size(), nullptr);
+}
+
+void
+CtaDispatcher::tick(Cycle now)
+{
+    for (std::size_t i = 0; i < sms_.size(); ++i) {
+        Sm *sm = sms_[i];
+        while (true) {
+            // A scheduling opportunity exists only when the SM has spare
+            // resources for another CTA (i.e.\ a resident CTA finished).
+            if (!sm->canLaunchCta())
+                break;
+            // Give throttled CTAs priority over fresh launches.
+            if (controllers_[i] &&
+                controllers_[i]->onSchedulingOpportunity(*sm, now)) {
+                continue;
+            }
+            if (remaining_ == 0 || !sm->launchCta(nextCta_, now))
+                break;
+            ++nextCta_;
+            --remaining_;
+        }
+    }
+}
+
+} // namespace lbsim

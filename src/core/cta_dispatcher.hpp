@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Global CTA dispatcher.
+ *
+ * Hands grid CTAs to SMs as occupancy allows. Before launching a fresh
+ * CTA onto an SM, the SM's controller gets the scheduling opportunity —
+ * Linebacker uses it to reactivate a throttled CTA first (Section 3.2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/kernel.hpp"
+
+namespace lbsim
+{
+
+class Sm;
+class SmControllerIf;
+
+/** Dispatches grid CTAs across the SMs. */
+class CtaDispatcher
+{
+  public:
+    /**
+     * @param kernel Kernel being launched.
+     * @param sms The chip's SMs (not owned).
+     */
+    CtaDispatcher(const KernelInfo *kernel, std::vector<Sm *> sms);
+
+    /** Attach per-SM controllers (parallel to the SM vector, may hold nulls). */
+    void setControllers(std::vector<SmControllerIf *> controllers);
+
+    /** Launch as many CTAs as resources allow at @p now. */
+    void tick(Cycle now);
+
+    /** CTAs not yet launched. */
+    std::uint32_t remaining() const { return remaining_; }
+
+    /** True once the whole grid has been handed out. */
+    bool drained() const { return remaining_ == 0; }
+
+  private:
+    const KernelInfo *kernel_;
+    std::vector<Sm *> sms_;
+    std::vector<SmControllerIf *> controllers_;
+    std::uint32_t nextCta_ = 0;
+    std::uint32_t remaining_;
+};
+
+} // namespace lbsim

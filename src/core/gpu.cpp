@@ -1,0 +1,119 @@
+#include "core/gpu.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+Gpu::Gpu(const GpuConfig &cfg, const GpuBuildOptions &options) : cfg_(cfg)
+{
+    icnt_ = std::make_unique<Interconnect>(cfg_, &stats_);
+    for (std::uint32_t p = 0; p < cfg_.numMemPartitions; ++p) {
+        partitions_.push_back(
+            std::make_unique<MemoryPartition>(cfg_, p, icnt_.get(),
+                                              &stats_));
+        icnt_->attachPartition(p, partitions_.back().get());
+    }
+    for (std::uint32_t s = 0; s < cfg_.numSms; ++s) {
+        sms_.push_back(std::make_unique<Sm>(cfg_, s, icnt_.get(), &stats_,
+                                            options.l1ExtraWays,
+                                            options.cerfUnified));
+    }
+    controllers_.resize(sms_.size(), nullptr);
+}
+
+Gpu::~Gpu() = default;
+
+void
+Gpu::setControllers(std::vector<SmControllerIf *> controllers)
+{
+    controllers_ = std::move(controllers);
+    controllers_.resize(sms_.size(), nullptr);
+    for (std::size_t i = 0; i < sms_.size(); ++i)
+        sms_[i]->setController(controllers_[i]);
+    if (dispatcher_)
+        dispatcher_->setControllers(controllers_);
+}
+
+void
+Gpu::tick()
+{
+    for (auto &partition : partitions_)
+        partition->tick(now_);
+    icnt_->tick(now_);
+    for (auto &sm : sms_)
+        sm->tick(now_);
+    if (dispatcher_)
+        dispatcher_->tick(now_);
+    ++now_;
+}
+
+bool
+Gpu::done() const
+{
+    if (dispatcher_ && !dispatcher_->drained())
+        return false;
+    for (const auto &sm : sms_) {
+        if (!sm->idle())
+            return false;
+    }
+    return true;
+}
+
+const SimStats &
+Gpu::runKernel(const KernelInfo &kernel)
+{
+    kernel.validate();
+    std::vector<Sm *> raw_sms;
+    for (auto &sm : sms_) {
+        sm->setKernel(&kernel);
+        raw_sms.push_back(sm.get());
+    }
+    dispatcher_ = std::make_unique<CtaDispatcher>(&kernel,
+                                                  std::move(raw_sms));
+    dispatcher_->setControllers(controllers_);
+    dispatcher_->tick(now_);
+
+    // Warm-up: simulate without measuring, then reset statistics so the
+    // reported window reflects warm-state behaviour for every scheme.
+    if (cfg_.warmupCycles > 0) {
+        const Cycle warm_end = now_ + cfg_.warmupCycles;
+        while (now_ < warm_end && !done())
+            tick();
+        stats_ = SimStats{};
+        measureStart_ = now_;
+        for (auto &sm : sms_)
+            sm->resetOccupancyAccumulators();
+        for (std::size_t i = 0; i < sms_.size(); ++i) {
+            if (controllers_[i])
+                controllers_[i]->onMeasurementReset(*sms_[i], now_);
+        }
+    }
+
+    const Cycle deadline = now_ + cfg_.maxCycles;
+    while (now_ < deadline && !done())
+        tick();
+
+    finalizeStats();
+    return stats_;
+}
+
+void
+Gpu::finalizeStats()
+{
+    stats_.cycles = now_ - measureStart_;
+    double active = 0;
+    double dur = 0;
+    double sur = 0;
+    for (const auto &sm : sms_) {
+        active += sm->avgActiveRegs(stats_.cycles);
+        dur += sm->avgDurRegs(stats_.cycles);
+        sur += sm->avgSurRegs(stats_.cycles);
+    }
+    const double n = static_cast<double>(sms_.size());
+    stats_.avgActiveRegisters = active / n;
+    stats_.avgDynamicallyUnusedRegisters = dur / n;
+    stats_.avgStaticallyUnusedRegisters = sur / n;
+}
+
+} // namespace lbsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Top-level GPU model: SMs + interconnect + memory partitions + dispatcher.
+ *
+ * Construction wires the Table-1 chip; runKernel() executes a kernel for
+ * a bounded cycle budget (relative-IPC methodology) or until the grid
+ * completes, then finalizes run statistics.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/cta_dispatcher.hpp"
+#include "core/kernel.hpp"
+#include "core/sm.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/memory_partition.hpp"
+
+namespace lbsim
+{
+
+/** Per-SM construction options applied by schemes. */
+struct GpuBuildOptions
+{
+    std::uint32_t l1ExtraWays = 0;  ///< CERF / CacheExt way extension.
+    bool cerfUnified = false;       ///< Cache data shares RF banks.
+};
+
+/** The simulated GPU chip. */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, const GpuBuildOptions &options = {});
+    ~Gpu();
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Attach one controller per SM (parallel vector; nulls allowed). */
+    void setControllers(std::vector<SmControllerIf *> controllers);
+
+    /**
+     * Execute @p kernel until the grid drains or the cycle budget is
+     * exhausted.
+     * @return Final statistics for the run.
+     */
+    const SimStats &runKernel(const KernelInfo &kernel);
+
+    /** Advance one cycle (exposed for fine-grained tests). */
+    void tick();
+
+    Cycle now() const { return now_; }
+    Sm &sm(std::uint32_t index) { return *sms_[index]; }
+    std::uint32_t numSms() const
+    {
+        return static_cast<std::uint32_t>(sms_.size());
+    }
+    SimStats &stats() { return stats_; }
+    const GpuConfig &config() const { return cfg_; }
+    Interconnect &interconnect() { return *icnt_; }
+
+    /** True once every launched CTA retired and the grid drained. */
+    bool done() const;
+
+    /** Fold per-SM occupancy accumulators into stats (idempotent-safe). */
+    void finalizeStats();
+
+  private:
+    GpuConfig cfg_;
+    SimStats stats_;
+    std::unique_ptr<Interconnect> icnt_;
+    std::vector<std::unique_ptr<MemoryPartition>> partitions_;
+    std::vector<std::unique_ptr<Sm>> sms_;
+    std::unique_ptr<CtaDispatcher> dispatcher_;
+    std::vector<SmControllerIf *> controllers_;
+    Cycle now_ = 0;
+    Cycle measureStart_ = 0;
+};
+
+} // namespace lbsim

@@ -1,0 +1,30 @@
+#include "core/kernel.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+void
+KernelInfo::validate() const
+{
+    if (body.empty())
+        fatal("kernel '%s' has an empty body", name.c_str());
+    if (warpsPerCta == 0 || regsPerWarp == 0 || numCtas == 0 ||
+        iterations == 0) {
+        fatal("kernel '%s' has zero-sized launch parameters",
+              name.c_str());
+    }
+    for (const StaticInst &inst : body) {
+        const bool is_mem =
+            inst.op == Opcode::Load || inst.op == Opcode::Store;
+        if (is_mem && inst.patternId >= patterns.size())
+            fatal("kernel '%s': pc %u references missing pattern %u",
+                  name.c_str(), inst.pc, inst.patternId);
+        if (inst.stallCycles == 0)
+            fatal("kernel '%s': pc %u has zero stall cycles",
+                  name.c_str(), inst.pc);
+    }
+}
+
+} // namespace lbsim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Kernel and static-instruction descriptors.
+ *
+ * lbsim is trace-less: a kernel is a short list of static instructions
+ * that every warp executes repeatedly (`iterations` times). Loads and
+ * stores reference an AddressPatternIf that maps (cta, warp, iteration)
+ * to one or more 128 B line addresses; the workload library provides the
+ * concrete patterns that give each benchmark its locality signature.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbsim
+{
+
+/** Instruction classes modelled by the SM pipeline. */
+enum class Opcode : std::uint8_t
+{
+    Alu,     ///< Integer/FP pipeline op.
+    Sfu,     ///< Special-function op (long latency).
+    Load,    ///< Global load (goes through L1).
+    Store,   ///< Global store (write-evict / no-allocate).
+};
+
+/** One static instruction of a kernel body. */
+struct StaticInst
+{
+    Opcode op = Opcode::Alu;
+    Pc pc = 0;
+    /**
+     * Cycles before the issuing warp may issue again. 1 models an
+     * independent pipelined op; larger values model a dependence on this
+     * instruction's result (e.g.\ an SFU or a dependent ALU chain).
+     */
+    std::uint32_t stallCycles = 1;
+    /** Block issue until all of the warp's outstanding loads returned. */
+    bool dependsOnLoads = false;
+    /** Pattern index (loads/stores) into KernelInfo::patterns. */
+    std::uint32_t patternId = 0;
+};
+
+/** Identifies one dynamic memory access for address generation. */
+struct AccessContext
+{
+    std::uint32_t smId = 0;
+    std::uint32_t globalCtaId = 0;
+    std::uint32_t warpInCta = 0;
+    std::uint32_t iteration = 0;
+};
+
+/**
+ * Maps a dynamic access to the 128 B line addresses it touches.
+ *
+ * A fully coalesced warp access produces one line; divergent accesses
+ * (graph workloads) produce several.
+ */
+class AddressPatternIf
+{
+  public:
+    virtual ~AddressPatternIf() = default;
+
+    /** Append the touched line addresses for @p ctx to @p lines_out. */
+    virtual void generate(const AccessContext &ctx,
+                          std::vector<Addr> &lines_out) = 0;
+};
+
+/** A kernel launch: body + grid/occupancy parameters. */
+struct KernelInfo
+{
+    std::string name;
+    std::vector<StaticInst> body;
+    std::vector<std::shared_ptr<AddressPatternIf>> patterns;
+    /** Times each warp executes the body before retiring. */
+    std::uint32_t iterations = 1;
+    std::uint32_t warpsPerCta = 4;
+    /** Warp registers (128 B each) per warp. */
+    std::uint32_t regsPerWarp = 16;
+    /** Shared memory per CTA in bytes (occupancy limiter). */
+    std::uint32_t sharedMemPerCta = 0;
+    /** Total CTAs in the grid. */
+    std::uint32_t numCtas = 64;
+
+    /** Warp registers needed by one CTA. */
+    std::uint32_t
+    regsPerCta() const
+    {
+        return warpsPerCta * regsPerWarp;
+    }
+
+    /** Validate structural invariants; panics on violation. */
+    void validate() const;
+};
+
+} // namespace lbsim

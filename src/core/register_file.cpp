@@ -1,0 +1,118 @@
+#include "core/register_file.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+RegisterFile::RegisterFile(const GpuConfig &cfg, SimStats *stats)
+    : stats_(stats), totalRegs_(cfg.totalWarpRegisters()),
+      numBanks_(cfg.registerFileBanks), allocated_(totalRegs_, false),
+      bankUse_(numBanks_, 0)
+{
+}
+
+std::optional<RegNum>
+RegisterFile::allocate(std::uint32_t num_regs)
+{
+    if (num_regs == 0 || num_regs > totalRegs_)
+        return std::nullopt;
+    std::uint32_t run = 0;
+    for (std::uint32_t rn = 0; rn < totalRegs_; ++rn) {
+        run = allocated_[rn] ? 0 : run + 1;
+        if (run == num_regs) {
+            const RegNum first = rn + 1 - num_regs;
+            for (std::uint32_t i = first; i <= rn; ++i)
+                allocated_[i] = true;
+            allocatedRegs_ += num_regs;
+            return first;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+RegisterFile::release(RegNum first, std::uint32_t num_regs)
+{
+    if (first + num_regs > totalRegs_)
+        panic("register release [%u, %u) out of range", first,
+              first + num_regs);
+    for (std::uint32_t rn = first; rn < first + num_regs; ++rn) {
+        if (!allocated_[rn])
+            panic("double release of register %u", rn);
+        allocated_[rn] = false;
+    }
+    allocatedRegs_ -= num_regs;
+}
+
+std::uint32_t
+RegisterFile::freeRegsAbove(RegNum first) const
+{
+    std::uint32_t count = 0;
+    for (std::uint32_t rn = first; rn < totalRegs_; ++rn)
+        count += allocated_[rn] ? 0 : 1;
+    return count;
+}
+
+bool
+RegisterFile::isAllocated(RegNum first, std::uint32_t num) const
+{
+    if (first + num > totalRegs_)
+        return false;
+    for (std::uint32_t rn = first; rn < first + num; ++rn) {
+        if (!allocated_[rn])
+            return false;
+    }
+    return num > 0;
+}
+
+void
+RegisterFile::beginCycle(Cycle now)
+{
+    (void)now;
+    std::fill(bankUse_.begin(), bankUse_.end(), 0);
+}
+
+std::uint32_t
+RegisterFile::chargeBank(std::uint32_t bank)
+{
+    ++stats_->rfAccesses;
+    const std::uint8_t prior = bankUse_[bank];
+    if (bankUse_[bank] < 255)
+        ++bankUse_[bank];
+    if (prior > 0) {
+        ++stats_->rfBankConflicts;
+        return prior;
+    }
+    return 0;
+}
+
+std::uint32_t
+RegisterFile::accessOperands(RegNum base_reg, std::uint32_t count,
+                             Cycle now)
+{
+    (void)now;
+    std::uint32_t delay = 0;
+    for (std::uint32_t i = 0; i < count; ++i)
+        delay += chargeBank(bankOf(base_reg + i));
+    return delay;
+}
+
+std::uint32_t
+RegisterFile::accessRegister(RegNum reg, bool is_write, Cycle now)
+{
+    (void)is_write;
+    (void)now;
+    return chargeBank(bankOf(reg));
+}
+
+std::uint32_t
+RegisterFile::arbitrateLine(Addr line_addr, bool is_write, Cycle now)
+{
+    (void)is_write;
+    (void)now;
+    return chargeBank(static_cast<std::uint32_t>(lineIndex(line_addr) %
+                                                 numBanks_));
+}
+
+} // namespace lbsim

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * SM register file with bank-conflict modelling and allocation tracking.
+ *
+ * The 256 KB register file (Table 1) holds 2048 warp registers of 128 B.
+ * Registers are allocated to CTAs bottom-up first-fit; the space above
+ * the allocation watermark is the Statically Unused Register file (SUR),
+ * and the registers of throttled CTAs are the Dynamically Unused Register
+ * file (DUR). Per-cycle bank arbitration counts conflicts between warp
+ * operand accesses, victim-line accesses (Linebacker), and unified cache
+ * accesses (CERF) — the data behind Fig 16.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/l1_cache.hpp"
+
+namespace lbsim
+{
+
+/** Register file of one SM. */
+class RegisterFile : public BankArbiterIf
+{
+  public:
+    RegisterFile(const GpuConfig &cfg, SimStats *stats);
+
+    // --- Allocation -------------------------------------------------------
+
+    /**
+     * Allocate @p num_regs contiguous warp registers (first fit).
+     * @return First register number, or nullopt if no gap fits.
+     */
+    std::optional<RegNum> allocate(std::uint32_t num_regs);
+
+    /** Release [first, first + num_regs). */
+    void release(RegNum first, std::uint32_t num_regs);
+
+    std::uint32_t totalRegs() const { return totalRegs_; }
+    std::uint32_t allocatedRegs() const { return allocatedRegs_; }
+    std::uint32_t freeRegs() const { return totalRegs_ - allocatedRegs_; }
+
+    /** Free registers with RN >= @p first (victim-space sizing). */
+    std::uint32_t freeRegsAbove(RegNum first) const;
+
+    /** True if [first, first+num) is currently allocated. */
+    bool isAllocated(RegNum first, std::uint32_t num) const;
+
+    // --- Per-cycle bank arbitration ----------------------------------------
+
+    /** Reset bank occupancy (call once per core cycle). */
+    void beginCycle(Cycle now);
+
+    /**
+     * Account @p count operand accesses for a warp whose registers start
+     * at @p base_reg.
+     * @return Extra delay cycles from bank conflicts.
+     */
+    std::uint32_t accessOperands(RegNum base_reg, std::uint32_t count,
+                                 Cycle now);
+
+    /**
+     * Account one full-line access to register @p reg (victim cache
+     * read/write or Linebacker backup/restore staging).
+     * @return Extra delay cycles from bank conflicts.
+     */
+    std::uint32_t accessRegister(RegNum reg, bool is_write, Cycle now);
+
+    /** BankArbiterIf: CERF unified-structure cache access. */
+    std::uint32_t arbitrateLine(Addr line_addr, bool is_write,
+                                Cycle now) override;
+
+    std::uint32_t
+    bankOf(RegNum reg) const
+    {
+        return reg % numBanks_;
+    }
+
+  private:
+    /** Charge one access to @p bank; returns conflict delay. */
+    std::uint32_t chargeBank(std::uint32_t bank);
+
+    SimStats *stats_;
+    std::uint32_t totalRegs_;
+    std::uint32_t numBanks_;
+    std::uint32_t allocatedRegs_ = 0;
+    std::vector<bool> allocated_;
+    std::vector<std::uint8_t> bankUse_;   ///< Accesses this cycle per bank.
+};
+
+} // namespace lbsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Greedy-Then-Oldest warp scheduler.
+ *
+ * Each SM has four schedulers (Table 1); warp slots are striped across
+ * them (slot % 4). GTO keeps issuing from the last-issued warp while it
+ * remains ready, otherwise falls back to the oldest (earliest-launched)
+ * ready warp — the policy used by the paper's baseline.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/warp.hpp"
+
+namespace lbsim
+{
+
+/** One GTO scheduler instance covering a stripe of warp slots. */
+class GtoScheduler
+{
+  public:
+    /**
+     * @param scheduler_id Stripe index.
+     * @param num_schedulers Stripe count (warps with slot % count == id).
+     */
+    GtoScheduler(std::uint32_t scheduler_id, std::uint32_t num_schedulers);
+
+    /**
+     * Pick the warp slot to issue this cycle.
+     *
+     * @param warps All warp slots of the SM.
+     * @param can_issue Predicate combining warp state, dependence and
+     *        controller gating.
+     * @return Selected slot or -1 if none is ready.
+     */
+    std::int32_t pick(const std::vector<Warp> &warps,
+                      const std::function<bool(const Warp &)> &can_issue);
+
+    /** Record that @p slot issued (greedy pointer update). */
+    void issued(std::uint32_t slot) { lastIssued_ = static_cast<std::int32_t>(slot); }
+
+    /** Forget the greedy pointer (e.g.\ warp finished or throttled). */
+    void reset() { lastIssued_ = -1; }
+
+  private:
+    std::uint32_t id_;
+    std::uint32_t stride_;
+    std::int32_t lastIssued_ = -1;
+};
+
+} // namespace lbsim

@@ -1,0 +1,364 @@
+#include "core/sm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+Sm::Sm(const GpuConfig &cfg, std::uint32_t sm_id, Interconnect *icnt,
+       SimStats *stats, std::uint32_t l1_extra_ways, bool cerf_unified)
+    : cfg_(cfg), id_(sm_id), icnt_(icnt), stats_(stats), rf_(cfg, stats),
+      l1_(std::make_unique<L1Cache>(cfg, sm_id, icnt, stats,
+                                    l1_extra_ways)),
+      ldst_(cfg, l1_.get(), stats), warps_(cfg.maxWarpsPerSm),
+      ctas_(cfg.maxCtasPerSm)
+{
+    for (std::uint32_t s = 0; s < cfg.schedulersPerSm; ++s)
+        schedulers_.emplace_back(s, cfg.schedulersPerSm);
+    for (std::uint32_t slot = 0; slot < warps_.size(); ++slot)
+        warps_[slot].smWarpId = slot;
+    for (std::uint32_t slot = 0; slot < ctas_.size(); ++slot)
+        ctas_[slot].hwId = slot;
+    if (cerf_unified)
+        l1_->setBankArbiter(&rf_);
+    icnt->attachSm(sm_id, this);
+}
+
+void
+Sm::setKernel(const KernelInfo *kernel)
+{
+    kernel_ = kernel;
+}
+
+bool
+Sm::canLaunchCta() const
+{
+    if (!kernel_)
+        return false;
+    std::uint32_t free_warp_slots = 0;
+    for (const Warp &warp : warps_)
+        free_warp_slots += warp.valid ? 0 : 1;
+    if (free_warp_slots < kernel_->warpsPerCta)
+        return false;
+    std::uint32_t resident = 0;
+    std::uint32_t shared_used = 0;
+    for (const Cta &cta : ctas_) {
+        if (cta.valid) {
+            ++resident;
+            shared_used += kernel_->sharedMemPerCta;
+        }
+    }
+    if (resident >= cfg_.maxCtasPerSm)
+        return false;
+    if (shared_used + kernel_->sharedMemPerCta >
+        cfg_.sharedMemBytesPerSm) {
+        return false;
+    }
+    return rf_.freeRegs() >= kernel_->regsPerCta();
+}
+
+bool
+Sm::launchCta(std::uint32_t global_cta_id, Cycle now)
+{
+    if (!canLaunchCta())
+        return false;
+
+    Cta *slot = nullptr;
+    for (Cta &cta : ctas_) {
+        if (!cta.valid) {
+            slot = &cta;
+            break;
+        }
+    }
+    if (!slot)
+        return false;
+
+    const auto first_reg = rf_.allocate(kernel_->regsPerCta());
+    if (!first_reg)
+        return false;
+
+    slot->valid = true;
+    slot->active = true;
+    slot->globalId = global_cta_id;
+    slot->warpsFinished = 0;
+    slot->firstRegNum = *first_reg;
+    slot->numRegs = kernel_->regsPerCta();
+    slot->warpSlots.clear();
+
+    std::uint32_t assigned = 0;
+    for (Warp &warp : warps_) {
+        if (warp.valid)
+            continue;
+        warp.valid = true;
+        warp.active = true;
+        warp.finished = false;
+        warp.ctaHwId = slot->hwId;
+        warp.warpInCta = assigned;
+        warp.globalCtaId = global_cta_id;
+        warp.launchOrder = launchCounter_++;
+        warp.pcIndex = 0;
+        warp.iteration = 0;
+        warp.outstandingLoads = 0;
+        warp.readyAt = now;
+        slot->warpSlots.push_back(warp.smWarpId);
+        if (++assigned == kernel_->warpsPerCta)
+            break;
+    }
+    if (assigned != kernel_->warpsPerCta)
+        panic("CTA launch found fewer warp slots than canLaunchCta()");
+
+    if (controller_)
+        controller_->onCtaLaunched(*this, *slot, now);
+    return true;
+}
+
+void
+Sm::setCtaActive(std::uint32_t cta_hw_id, bool active, Cycle now)
+{
+    (void)now;
+    Cta &cta = ctas_[cta_hw_id];
+    if (!cta.valid)
+        panic("setCtaActive on invalid CTA slot %u", cta_hw_id);
+    cta.active = active;
+    for (std::uint32_t warp_slot : cta.warpSlots)
+        warps_[warp_slot].active = active;
+    if (!active) {
+        for (GtoScheduler &sched : schedulers_)
+            sched.reset();
+    }
+}
+
+std::vector<std::uint32_t>
+Sm::residentCtas() const
+{
+    std::vector<std::uint32_t> ids;
+    for (const Cta &cta : ctas_) {
+        if (cta.valid)
+            ids.push_back(cta.hwId);
+    }
+    return ids;
+}
+
+std::uint32_t
+Sm::activeCtaCount() const
+{
+    std::uint32_t count = 0;
+    for (const Cta &cta : ctas_)
+        count += (cta.valid && cta.active) ? 1 : 0;
+    return count;
+}
+
+std::int32_t
+Sm::highestActiveCta() const
+{
+    std::int32_t best = -1;
+    for (const Cta &cta : ctas_) {
+        if (cta.valid && cta.active)
+            best = static_cast<std::int32_t>(cta.hwId);
+    }
+    return best;
+}
+
+std::int32_t
+Sm::lowestInactiveCta() const
+{
+    for (const Cta &cta : ctas_) {
+        if (cta.valid && !cta.active)
+            return static_cast<std::int32_t>(cta.hwId);
+    }
+    return -1;
+}
+
+bool
+Sm::canIssue(const Warp &warp, Cycle now) const
+{
+    if (!warp.issuable(now))
+        return false;
+    const StaticInst &inst = kernel_->body[warp.pcIndex];
+    if (inst.dependsOnLoads && warp.outstandingLoads > 0)
+        return false;
+    if ((inst.op == Opcode::Load || inst.op == Opcode::Store) &&
+        !ldst_.canAccept()) {
+        return false;
+    }
+    if (controller_ && !controller_->warpMayIssue(*this, warp))
+        return false;
+    return true;
+}
+
+void
+Sm::issueWarp(Warp &warp, Cycle now)
+{
+    const StaticInst &inst = kernel_->body[warp.pcIndex];
+    ++issued_;
+    ++stats_->instructionsIssued;
+
+    std::uint32_t delay = 0;
+    switch (inst.op) {
+      case Opcode::Alu:
+      case Opcode::Sfu: {
+        // Two source operands and one destination cross the banks.
+        const Cta &cta = ctas_[warp.ctaHwId];
+        const RegNum base =
+            cta.firstRegNum + warp.warpInCta * kernel_->regsPerWarp +
+            (warp.pcIndex % std::max(1u, kernel_->regsPerWarp - 2));
+        delay = rf_.accessOperands(base, 3, now);
+        warp.readyAt = now + inst.stallCycles + delay;
+        break;
+      }
+      case Opcode::Load:
+      case Opcode::Store: {
+        lineScratch_.clear();
+        AccessContext ctx;
+        ctx.smId = id_;
+        ctx.globalCtaId = warp.globalCtaId;
+        ctx.warpInCta = warp.warpInCta;
+        ctx.iteration = warp.iteration;
+        kernel_->patterns[inst.patternId]->generate(ctx, lineScratch_);
+        const bool bypass = controller_ &&
+            controller_->warpBypassesL1(*this, warp);
+        ldst_.issue(warp, inst, lineScratch_, bypass, now);
+        const Cta &cta = ctas_[warp.ctaHwId];
+        const RegNum base =
+            cta.firstRegNum + warp.warpInCta * kernel_->regsPerWarp;
+        delay = rf_.accessOperands(base, 2, now);
+        warp.readyAt = now + inst.stallCycles + delay;
+        break;
+      }
+    }
+
+    // Advance control flow: wrap the body, count iterations, retire.
+    if (++warp.pcIndex == kernel_->body.size()) {
+        warp.pcIndex = 0;
+        if (++warp.iteration == kernel_->iterations) {
+            warp.finished = true;
+            ++ctas_[warp.ctaHwId].warpsFinished;
+        }
+    }
+}
+
+void
+Sm::retireFinishedCtas(Cycle now)
+{
+    for (Cta &cta : ctas_) {
+        if (!cta.valid || !cta.finished())
+            continue;
+        // Wait for in-flight loads so register space release is safe.
+        bool drained = true;
+        for (std::uint32_t warp_slot : cta.warpSlots) {
+            if (warps_[warp_slot].outstandingLoads != 0) {
+                drained = false;
+                break;
+            }
+        }
+        if (!drained)
+            continue;
+
+        for (std::uint32_t warp_slot : cta.warpSlots)
+            warps_[warp_slot].valid = false;
+        rf_.release(cta.firstRegNum, cta.numRegs);
+        cta.valid = false;
+        ++stats_->ctasCompleted;
+        if (controller_)
+            controller_->onCtaCompleted(*this, cta, now);
+        for (GtoScheduler &sched : schedulers_)
+            sched.reset();
+    }
+}
+
+void
+Sm::tick(Cycle now)
+{
+    rf_.beginCycle(now);
+    if (controller_)
+        controller_->onCycle(*this, now);
+
+    ldst_.tick(warps_, now);
+
+    const auto can_issue = [this, now](const Warp &warp) {
+        return canIssue(warp, now);
+    };
+    for (GtoScheduler &sched : schedulers_) {
+        const std::int32_t slot = sched.pick(warps_, can_issue);
+        if (slot < 0)
+            continue;
+        issueWarp(warps_[static_cast<std::uint32_t>(slot)], now);
+        sched.issued(static_cast<std::uint32_t>(slot));
+    }
+
+    retireFinishedCtas(now);
+
+    // Register occupancy accounting (Figs 4 and 9).
+    std::uint32_t active_regs = 0;
+    std::uint32_t dur_regs = 0;
+    for (const Cta &cta : ctas_) {
+        if (!cta.valid)
+            continue;
+        if (cta.active)
+            active_regs += cta.numRegs;
+        else
+            dur_regs += cta.numRegs;
+    }
+    activeRegAccum_ += active_regs;
+    durRegAccum_ += dur_regs;
+    surRegAccum_ += rf_.totalRegs() - rf_.allocatedRegs();
+}
+
+void
+Sm::onResponse(const MemResponse &response, Cycle now)
+{
+    switch (response.kind) {
+      case RequestKind::DataRead:
+        l1_->fill(response.lineAddr, now);
+        break;
+      case RequestKind::RegRestore:
+        if (restoreSink_)
+            restoreSink_->onResponse(response, now);
+        else
+            panic("RegRestore response with no restore sink");
+        break;
+      case RequestKind::DataWrite:
+      case RequestKind::RegBackup:
+        panic("unexpected response kind");
+    }
+}
+
+double
+Sm::avgActiveRegs(Cycle cycles) const
+{
+    return cycles ? activeRegAccum_ / cycles : 0.0;
+}
+
+double
+Sm::avgDurRegs(Cycle cycles) const
+{
+    return cycles ? durRegAccum_ / cycles : 0.0;
+}
+
+double
+Sm::avgSurRegs(Cycle cycles) const
+{
+    return cycles ? surRegAccum_ / cycles : 0.0;
+}
+
+void
+Sm::resetOccupancyAccumulators()
+{
+    activeRegAccum_ = 0;
+    durRegAccum_ = 0;
+    surRegAccum_ = 0;
+}
+
+bool
+Sm::idle() const
+{
+    for (const Cta &cta : ctas_) {
+        if (cta.valid)
+            return false;
+    }
+    return true;
+}
+
+} // namespace lbsim

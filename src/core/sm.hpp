@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Streaming Multiprocessor model.
+ *
+ * Owns the warp table, CTA table, register file, four GTO schedulers, the
+ * LDST unit, and the private L1. Architectural mechanisms (Linebacker,
+ * PCAL, static warp limiting) attach as an SmControllerIf that can gate
+ * warp issue, request L1 bypass, and observe cycles/CTA events — keeping
+ * the core model policy-free.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "core/kernel.hpp"
+#include "core/ldst_unit.hpp"
+#include "core/register_file.hpp"
+#include "core/scheduler.hpp"
+#include "core/warp.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/l1_cache.hpp"
+
+namespace lbsim
+{
+
+class Sm;
+
+/** Policy hook attached to an SM (Linebacker / PCAL / SWL / none). */
+class SmControllerIf
+{
+  public:
+    virtual ~SmControllerIf() = default;
+
+    /** Called once per core cycle before issue. */
+    virtual void onCycle(Sm &sm, Cycle now)
+    {
+        (void)sm;
+        (void)now;
+    }
+
+    /** Extra issue gating (throttling). */
+    virtual bool
+    warpMayIssue(const Sm &sm, const Warp &warp) const
+    {
+        (void)sm;
+        (void)warp;
+        return true;
+    }
+
+    /** PCAL bypass attribute for this warp's memory accesses. */
+    virtual bool
+    warpBypassesL1(const Sm &sm, const Warp &warp) const
+    {
+        (void)sm;
+        (void)warp;
+        return false;
+    }
+
+    /** CTA lifecycle notifications. */
+    virtual void onCtaLaunched(Sm &sm, Cta &cta, Cycle now)
+    {
+        (void)sm;
+        (void)cta;
+        (void)now;
+    }
+    virtual void onCtaCompleted(Sm &sm, Cta &cta, Cycle now)
+    {
+        (void)sm;
+        (void)cta;
+        (void)now;
+    }
+
+    /**
+     * A CTA slot opened up. Return true to consume the opportunity
+     * (e.g.\ Linebacker reactivates a throttled CTA before the
+     * dispatcher launches a fresh one).
+     */
+    virtual bool onSchedulingOpportunity(Sm &sm, Cycle now)
+    {
+        (void)sm;
+        (void)now;
+        return false;
+    }
+
+    /** Statistics were reset at the warm-up boundary. */
+    virtual void onMeasurementReset(Sm &sm, Cycle now)
+    {
+        (void)sm;
+        (void)now;
+    }
+};
+
+/** One streaming multiprocessor. */
+class Sm : public ResponseSinkIf
+{
+  public:
+    /**
+     * @param cfg GPU configuration.
+     * @param sm_id This SM's index.
+     * @param icnt Interconnect (registers itself as response sink).
+     * @param stats Run-wide counters.
+     * @param l1_extra_ways CERF/CacheExt capacity extension.
+     * @param cerf_unified Route cache data accesses through RF banks.
+     */
+    Sm(const GpuConfig &cfg, std::uint32_t sm_id, Interconnect *icnt,
+       SimStats *stats, std::uint32_t l1_extra_ways = 0,
+       bool cerf_unified = false);
+
+    /** Bind the kernel to execute. */
+    void setKernel(const KernelInfo *kernel);
+
+    /** Attach the policy controller (may be null). */
+    void setController(SmControllerIf *controller)
+    {
+        controller_ = controller;
+    }
+
+    /** Sink for RegRestore responses (Linebacker's backup engine). */
+    void setRestoreSink(ResponseSinkIf *sink) { restoreSink_ = sink; }
+
+    /**
+     * Try to launch global CTA @p global_cta_id.
+     * @return true if resources allowed the launch.
+     */
+    bool launchCta(std::uint32_t global_cta_id, Cycle now);
+
+    /** True if another CTA of the bound kernel would fit right now. */
+    bool canLaunchCta() const;
+
+    /** Advance one core cycle. */
+    void tick(Cycle now);
+
+    /** ResponseSinkIf: route fills and restore data. */
+    void onResponse(const MemResponse &response, Cycle now) override;
+
+    // --- Throttling interface (used by controllers) ---------------------
+
+    /** Deactivate/reactivate a resident CTA (warp gating only). */
+    void setCtaActive(std::uint32_t cta_hw_id, bool active, Cycle now);
+
+    /** Resident CTA hardware ids (valid slots). */
+    std::vector<std::uint32_t> residentCtas() const;
+
+    /** Count of resident CTAs currently active. */
+    std::uint32_t activeCtaCount() const;
+
+    /** Highest hardware id among active CTAs (throttle order). */
+    std::int32_t highestActiveCta() const;
+
+    /** Lowest hardware id among inactive CTAs (reactivation order). */
+    std::int32_t lowestInactiveCta() const;
+
+    // --- Accessors -------------------------------------------------------
+
+    std::uint32_t id() const { return id_; }
+    const KernelInfo *kernel() const { return kernel_; }
+    L1Cache &l1() { return *l1_; }
+    const L1Cache &l1() const { return *l1_; }
+    RegisterFile &regFile() { return rf_; }
+    const RegisterFile &regFile() const { return rf_; }
+    Interconnect &interconnect() { return *icnt_; }
+    const std::vector<Warp> &warps() const { return warps_; }
+    const std::vector<Cta> &ctas() const { return ctas_; }
+    Cta &cta(std::uint32_t hw_id) { return ctas_[hw_id]; }
+    std::uint64_t instructionsIssued() const { return issued_; }
+    SimStats &stats() { return *stats_; }
+
+    /** Time-averaged register occupancy (finalize at run end). */
+    double avgActiveRegs(Cycle cycles) const;
+    double avgDurRegs(Cycle cycles) const;
+    double avgSurRegs(Cycle cycles) const;
+
+    /** All resident warps finished and retired. */
+    bool idle() const;
+
+    /** Clear time-integrated occupancy accumulators (warm-up reset). */
+    void resetOccupancyAccumulators();
+
+  private:
+    bool canIssue(const Warp &warp, Cycle now) const;
+    void issueWarp(Warp &warp, Cycle now);
+    void retireFinishedCtas(Cycle now);
+
+    const GpuConfig &cfg_;
+    std::uint32_t id_;
+    Interconnect *icnt_;
+    SimStats *stats_;
+    RegisterFile rf_;
+    std::unique_ptr<L1Cache> l1_;
+    LdstUnit ldst_;
+    std::vector<GtoScheduler> schedulers_;
+    std::vector<Warp> warps_;
+    std::vector<Cta> ctas_;
+    const KernelInfo *kernel_ = nullptr;
+    SmControllerIf *controller_ = nullptr;
+    ResponseSinkIf *restoreSink_ = nullptr;
+    std::uint64_t issued_ = 0;
+    std::uint64_t launchCounter_ = 0;
+    std::vector<Addr> lineScratch_;
+
+    // Time-integrated register occupancy accumulators.
+    double activeRegAccum_ = 0;
+    double durRegAccum_ = 0;
+    double surRegAccum_ = 0;
+};
+
+} // namespace lbsim

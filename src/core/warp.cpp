@@ -1,0 +1,8 @@
+#include "core/warp.hpp"
+
+// Warp and Cta are plain state structs; behaviour lives in Sm. This
+// translation unit anchors the module.
+
+namespace lbsim
+{
+} // namespace lbsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Warp and CTA execution state.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbsim
+{
+
+/** Hardware warp state within an SM. */
+struct Warp
+{
+    /** Hardware warp slot within the SM. */
+    std::uint32_t smWarpId = 0;
+    /** Hardware CTA slot this warp belongs to. */
+    std::uint32_t ctaHwId = 0;
+    /** Warp index within its CTA. */
+    std::uint32_t warpInCta = 0;
+    /** Global CTA id in the grid. */
+    std::uint32_t globalCtaId = 0;
+    /** Monotonic launch order; GTO "oldest" tiebreak. */
+    std::uint64_t launchOrder = 0;
+
+    // --- Execution progress ---------------------------------------------
+    std::uint32_t pcIndex = 0;
+    std::uint32_t iteration = 0;
+    std::uint32_t outstandingLoads = 0;
+    Cycle readyAt = 0;
+    bool valid = false;      ///< Slot occupied by a resident warp.
+    bool active = true;      ///< False while the CTA is throttled.
+    bool finished = false;
+
+    /** True if the warp could issue at @p now given its own state. */
+    bool
+    issuable(Cycle now) const
+    {
+        return valid && active && !finished && readyAt <= now;
+    }
+};
+
+/** Resident CTA state within an SM. */
+struct Cta
+{
+    std::uint32_t hwId = 0;
+    std::uint32_t globalId = 0;
+    std::vector<std::uint32_t> warpSlots;
+    std::uint32_t warpsFinished = 0;
+    bool valid = false;
+    bool active = true;          ///< False while throttled.
+    /** First warp register allocated to this CTA (paper's FRN). */
+    RegNum firstRegNum = 0;
+    /** Warp registers allocated to this CTA. */
+    std::uint32_t numRegs = 0;
+
+    bool
+    finished() const
+    {
+        return valid && warpsFinished == warpSlots.size();
+    }
+};
+
+} // namespace lbsim

@@ -1,0 +1,95 @@
+#include "harness/characterize.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/gpu.hpp"
+
+namespace lbsim
+{
+
+double
+AppCharacter::topReusedWorkingSetBytes(std::size_t top_n) const
+{
+    double total = 0.0;
+    std::size_t taken = 0;
+    for (const LoadCharacter &load : loads) {
+        if (load.isStreaming())
+            continue;
+        total += load.reusedWorkingSetBytes();
+        if (++taken == top_n)
+            break;
+    }
+    return total;
+}
+
+double
+AppCharacter::streamingBytes() const
+{
+    double total = 0.0;
+    for (const LoadCharacter &load : loads) {
+        if (load.isStreaming())
+            total += load.touchedBytes();
+    }
+    return total;
+}
+
+AppCharacter
+characterizeApp(const AppProfile &app, Cycle window)
+{
+    // One SM is representative (workloads are SM-homogeneous); warm up
+    // for one window, observe the next.
+    GpuConfig cfg = GpuConfig{}.scaleTo(1);
+    cfg.maxCycles = 2 * window;
+
+    const KernelInfo kernel = app.buildKernel(cfg);
+    Gpu gpu(cfg);
+
+    struct PerLoad
+    {
+        std::uint64_t accesses = 0;
+        std::unordered_map<Addr, std::uint32_t> lineTouches;
+    };
+    std::unordered_map<Pc, PerLoad> per_load;
+    const Cycle observe_from = window;
+
+    gpu.sm(0).l1().setAccessObserver(
+        [&per_load, observe_from](Addr line, Pc pc, bool is_write,
+                                  Cycle now) {
+            if (is_write || now < observe_from)
+                return;
+            PerLoad &entry = per_load[pc];
+            ++entry.accesses;
+            ++entry.lineTouches[line];
+        });
+
+    gpu.runKernel(kernel);
+
+    AppCharacter result;
+    result.appId = app.id;
+    for (const auto &[pc, data] : per_load) {
+        LoadCharacter load;
+        load.pc = pc;
+        load.accesses = data.accesses;
+        load.distinctLines = data.lineTouches.size();
+        std::uint64_t revisits = 0;
+        for (const auto &[line, touches] : data.lineTouches) {
+            if (touches > 1) {
+                ++load.reusedLines;
+                revisits += touches - 1;
+            }
+        }
+        load.reuseFraction = data.accesses
+            ? static_cast<double>(revisits) / data.accesses
+            : 0.0;
+        result.loads.push_back(load);
+    }
+    std::sort(result.loads.begin(), result.loads.end(),
+              [](const LoadCharacter &a, const LoadCharacter &b) {
+                  return a.accesses > b.accesses;
+              });
+    return result;
+}
+
+} // namespace lbsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-load access-stream characterization (Figs 2 and 3).
+ *
+ * Runs an application on the baseline GPU with an access observer on one
+ * SM and classifies each static load the way the paper does: a load is
+ * *streaming* if (almost) none of its lines are re-accessed within a
+ * 50 000-cycle window; otherwise its *reused working set* is the set of
+ * lines re-accessed within the window.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+#include "workload/app_profile.hpp"
+
+namespace lbsim
+{
+
+/** Characterization of one static load on one SM. */
+struct LoadCharacter
+{
+    Pc pc = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t distinctLines = 0;
+    /** Lines re-accessed within the observation window. */
+    std::uint64_t reusedLines = 0;
+    /** Fraction of accesses that revisit a line seen in the window. */
+    double reuseFraction = 0.0;
+
+    /** Paper's streaming test: essentially no within-window reuse. */
+    bool
+    isStreaming() const
+    {
+        return reuseFraction < 0.05;
+    }
+
+    /** Reused working set in bytes (Fig 2 Y-axis). */
+    double
+    reusedWorkingSetBytes() const
+    {
+        return static_cast<double>(reusedLines) * kLineBytes;
+    }
+
+    /** Data touched by the load in the window, in bytes (Fig 3). */
+    double
+    touchedBytes() const
+    {
+        return static_cast<double>(distinctLines) * kLineBytes;
+    }
+};
+
+/** Full characterization result for one application. */
+struct AppCharacter
+{
+    std::string appId;
+    std::vector<LoadCharacter> loads;   ///< Sorted by access count, desc.
+
+    /** Fig 2: total reused working set of the top-N non-streaming loads. */
+    double topReusedWorkingSetBytes(std::size_t top_n = 4) const;
+
+    /** Fig 3: total per-window data size of the streaming loads. */
+    double streamingBytes() const;
+};
+
+/**
+ * Characterize @p app over one observation window.
+ *
+ * @param window Observation window length (50 000 cycles by default,
+ *        matching the paper) after a warm-up of equal length.
+ */
+AppCharacter characterizeApp(const AppProfile &app,
+                             Cycle window = 50000);
+
+} // namespace lbsim

@@ -1,0 +1,64 @@
+#include "harness/memo_cache.hpp"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace lbsim
+{
+
+std::uint64_t
+fnv1a(const std::string &data)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : data) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+MemoCache::MemoCache(std::string path) : path_(std::move(path))
+{
+    const char *disable = std::getenv("LBSIM_NO_CACHE");
+    enabled_ = !(disable && disable[0] == '1');
+}
+
+std::string
+MemoCache::defaultPath()
+{
+    if (const char *env = std::getenv("LBSIM_CACHE_PATH"))
+        return env;
+    return "lbsim_simcache.csv";
+}
+
+std::optional<std::string>
+MemoCache::lookup(const std::string &key) const
+{
+    if (!enabled_)
+        return std::nullopt;
+    std::ifstream in(path_);
+    if (!in)
+        return std::nullopt;
+    std::string line;
+    std::optional<std::string> found;
+    while (std::getline(in, line)) {
+        const auto sep = line.find('|');
+        if (sep == std::string::npos)
+            continue;
+        if (line.compare(0, sep, key) == 0)
+            found = line.substr(sep + 1); // Last write wins.
+    }
+    return found;
+}
+
+void
+MemoCache::store(const std::string &key, const std::string &value)
+{
+    if (!enabled_)
+        return;
+    std::ofstream out(path_, std::ios::app);
+    if (out)
+        out << key << '|' << value << '\n';
+}
+
+} // namespace lbsim

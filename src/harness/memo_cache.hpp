@@ -1,0 +1,48 @@
+/**
+ * @file
+ * File-backed memoization of simulation results.
+ *
+ * Benches share an oracle (Best-SWL sweep) and many (app, scheme, config)
+ * runs; with every bench a separate process, a small on-disk cache keyed
+ * by a config hash avoids re-simulating identical points. Entries are
+ * invalidated implicitly by the key hash covering all relevant inputs.
+ * Set environment variable LBSIM_NO_CACHE=1 to bypass.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace lbsim
+{
+
+/** Simple CSV-backed key/value store for run metrics. */
+class MemoCache
+{
+  public:
+    /** @param path Cache file location (created lazily). */
+    explicit MemoCache(std::string path);
+
+    /** Look up @p key; returns the stored values if present. */
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    /** Store @p value under @p key (appends to the file). */
+    void store(const std::string &key, const std::string &value);
+
+    /** True if the cache is usable (directory exists, not disabled). */
+    bool enabled() const { return enabled_; }
+
+    /** Default cache location (next to the running binary). */
+    static std::string defaultPath();
+
+  private:
+    std::string path_;
+    bool enabled_;
+};
+
+/** FNV-1a of @p data, for building cache keys. */
+std::uint64_t fnv1a(const std::string &data);
+
+} // namespace lbsim

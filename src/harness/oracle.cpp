@@ -1,0 +1,34 @@
+#include "harness/oracle.hpp"
+
+namespace lbsim
+{
+
+const std::vector<std::uint32_t> &
+swlCandidateLimits()
+{
+    // Warp-count candidates; 0 means unlimited (baseline scheduling).
+    static const std::vector<std::uint32_t> limits = {
+        8, 16, 24, 32, 48, 0,
+    };
+    return limits;
+}
+
+SwlOracleResult
+findBestSwl(SimRunner &runner, const AppProfile &app)
+{
+    SwlOracleResult result;
+    double best_ipc = -1.0;
+    for (std::uint32_t limit : swlCandidateLimits()) {
+        SchemeConfig scheme = SchemeConfig::bestSwl(limit);
+        const RunMetrics metrics = runner.run(app, scheme);
+        result.sweep.emplace_back(limit, metrics.ipc);
+        if (metrics.ipc > best_ipc) {
+            best_ipc = metrics.ipc;
+            result.bestLimit = limit;
+            result.bestMetrics = metrics;
+        }
+    }
+    return result;
+}
+
+} // namespace lbsim

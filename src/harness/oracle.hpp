@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Best-SWL oracle: the offline per-application static-warp-limit sweep
+ * the paper uses as its strongest prior-art baseline.
+ *
+ * The sweep includes "unlimited", so Best-SWL is never worse than the
+ * baseline by construction — matching the paper's definition of an
+ * oracle-selected limit. Results go through the runner's memo cache, so
+ * the sweep is paid once per configuration across all benches.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/sim_runner.hpp"
+
+namespace lbsim
+{
+
+/** Result of the oracle sweep for one application. */
+struct SwlOracleResult
+{
+    std::uint32_t bestLimit = 0;   ///< 0 = unlimited.
+    RunMetrics bestMetrics;
+    std::vector<std::pair<std::uint32_t, double>> sweep; ///< (limit, IPC).
+};
+
+/** Candidate limits swept by the oracle (ending with unlimited). */
+const std::vector<std::uint32_t> &swlCandidateLimits();
+
+/** Run the oracle sweep for @p app. */
+SwlOracleResult findBestSwl(SimRunner &runner, const AppProfile &app);
+
+} // namespace lbsim

@@ -1,0 +1,135 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lbsim
+{
+
+ComparisonReport::ComparisonReport(std::string metric_name)
+    : metricName_(std::move(metric_name))
+{
+}
+
+void
+ComparisonReport::add(const std::string &app, const std::string &scheme,
+                      double value)
+{
+    if (std::find(appOrder_.begin(), appOrder_.end(), app) ==
+        appOrder_.end()) {
+        appOrder_.push_back(app);
+    }
+    if (std::find(schemeOrder_.begin(), schemeOrder_.end(), scheme) ==
+        schemeOrder_.end()) {
+        schemeOrder_.push_back(scheme);
+    }
+    values_[app][scheme] = value;
+}
+
+void
+ComparisonReport::setSchemeOrder(std::vector<std::string> order)
+{
+    schemeOrder_ = std::move(order);
+}
+
+void
+ComparisonReport::setAppOrder(std::vector<std::string> order)
+{
+    appOrder_ = std::move(order);
+}
+
+double
+ComparisonReport::value(const std::string &app,
+                        const std::string &scheme) const
+{
+    const auto row = values_.find(app);
+    if (row == values_.end())
+        return 0.0;
+    const auto cell = row->second.find(scheme);
+    return cell == row->second.end() ? 0.0 : cell->second;
+}
+
+std::string
+ComparisonReport::renderNormalized(
+    const std::string &reference_scheme) const
+{
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const std::string &scheme : schemeOrder_)
+        header.push_back(scheme);
+    table.setHeader(std::move(header));
+
+    for (const std::string &app : appOrder_) {
+        const double ref = value(app, reference_scheme);
+        std::vector<std::string> row = {app};
+        for (const std::string &scheme : schemeOrder_) {
+            row.push_back(ref > 0.0
+                              ? fmtDouble(value(app, scheme) / ref, 3)
+                              : "-");
+        }
+        table.addRow(std::move(row));
+    }
+
+    std::vector<std::string> gm_row = {"GM"};
+    for (const std::string &scheme : schemeOrder_)
+        gm_row.push_back(fmtDouble(geomeanVs(scheme, reference_scheme),
+                                   3));
+    table.addRow(std::move(gm_row));
+    return table.render();
+}
+
+std::string
+ComparisonReport::renderRaw() const
+{
+    TextTable table;
+    std::vector<std::string> header = {"app"};
+    for (const std::string &scheme : schemeOrder_)
+        header.push_back(scheme);
+    table.setHeader(std::move(header));
+    for (const std::string &app : appOrder_) {
+        std::vector<std::string> row = {app};
+        for (const std::string &scheme : schemeOrder_)
+            row.push_back(fmtDouble(value(app, scheme), 3));
+        table.addRow(std::move(row));
+    }
+    return table.render();
+}
+
+double
+ComparisonReport::geomeanVs(const std::string &scheme,
+                            const std::string &reference_scheme) const
+{
+    return geomeanVs(scheme, reference_scheme, appOrder_);
+}
+
+double
+ComparisonReport::geomeanVs(const std::string &scheme,
+                            const std::string &reference_scheme,
+                            const std::vector<std::string> &apps) const
+{
+    std::vector<double> ratios;
+    for (const std::string &app : apps) {
+        const double ref = value(app, reference_scheme);
+        const double val = value(app, scheme);
+        if (ref > 0.0 && val > 0.0)
+            ratios.push_back(val / ref);
+    }
+    return geomean(ratios);
+}
+
+void
+printFigureBanner(const std::string &figure, const std::string &caption)
+{
+    std::printf("\n=== %s: %s ===\n\n", figure.c_str(), caption.c_str());
+}
+
+void
+printPaperVsMeasured(const std::string &what, double paper,
+                     double measured, const std::string &unit)
+{
+    std::printf("  %-52s paper: %8.1f%s   measured: %8.1f%s\n",
+                what.c_str(), paper, unit.c_str(), measured,
+                unit.c_str());
+}
+
+} // namespace lbsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reporting helpers that print paper-style figure output.
+ *
+ * ComparisonReport collects per-app metrics for several schemes and
+ * renders rows normalized to a reference scheme, plus the geometric-mean
+ * row the paper's figures carry — the format all performance benches
+ * share (Figs 5, 10-12, 14, 15).
+ */
+
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/sim_runner.hpp"
+
+namespace lbsim
+{
+
+/** Per-app x per-scheme metric grid with normalized rendering. */
+class ComparisonReport
+{
+  public:
+    /** @param metric_name Printed unit label (e.g.\ "IPC norm."). */
+    explicit ComparisonReport(std::string metric_name = "speedup");
+
+    /** Record @p value for (app, scheme). */
+    void add(const std::string &app, const std::string &scheme,
+             double value);
+
+    /** Scheme column order (first added wins by default). */
+    void setSchemeOrder(std::vector<std::string> order);
+
+    /** App row order (insertion order by default). */
+    void setAppOrder(std::vector<std::string> order);
+
+    /**
+     * Render rows normalized to @p reference_scheme, with a trailing
+     * geometric-mean row.
+     */
+    std::string renderNormalized(const std::string &reference_scheme) const;
+
+    /** Render raw values (no normalization). */
+    std::string renderRaw() const;
+
+    /** Geometric mean of scheme/reference across apps. */
+    double geomeanVs(const std::string &scheme,
+                     const std::string &reference_scheme) const;
+
+    /** Geomean over a subset of apps. */
+    double geomeanVs(const std::string &scheme,
+                     const std::string &reference_scheme,
+                     const std::vector<std::string> &apps) const;
+
+  private:
+    double value(const std::string &app, const std::string &scheme) const;
+
+    std::string metricName_;
+    std::vector<std::string> appOrder_;
+    std::vector<std::string> schemeOrder_;
+    std::map<std::string, std::map<std::string, double>> values_;
+};
+
+/** Print a figure banner ("=== Figure 12: ... ==="). */
+void printFigureBanner(const std::string &figure,
+                       const std::string &caption);
+
+/** Print a "paper vs measured" summary line. */
+void printPaperVsMeasured(const std::string &what, double paper,
+                          double measured, const std::string &unit);
+
+} // namespace lbsim

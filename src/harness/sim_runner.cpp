@@ -1,0 +1,298 @@
+#include "harness/sim_runner.hpp"
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "baselines/cerf.hpp"
+#include "baselines/ccws.hpp"
+#include "baselines/pcal.hpp"
+#include "baselines/static_warp_limiter.hpp"
+#include "core/gpu.hpp"
+#include "harness/memo_cache.hpp"
+#include "lb/linebacker.hpp"
+
+namespace lbsim
+{
+
+namespace
+{
+
+/** Bump when simulator/workload semantics change to invalidate caches. */
+constexpr const char *kCacheVersion = "lbsim-v8";
+
+/** DUR bytes implied by a static warp limit (Best-SWL+CacheExt sizing). */
+std::uint32_t
+durBytesForWarpLimit(const GpuConfig &cfg, const KernelInfo &kernel,
+                     std::uint32_t warp_limit)
+{
+    if (warp_limit == 0)
+        return 0;
+    const std::uint32_t resident_warps =
+        maxResidentCtas(cfg, kernel) * kernel.warpsPerCta;
+    if (warp_limit >= resident_warps)
+        return 0;
+    return (resident_warps - warp_limit) * kernel.regsPerWarp *
+        kLineBytes;
+}
+
+std::string
+describeScheme(const SchemeConfig &s)
+{
+    std::ostringstream out;
+    out << s.name << ';' << static_cast<int>(s.throttle) << ';'
+        << static_cast<int>(s.victim) << ';' << s.useDynamicUnusedRegs
+        << ';' << s.backupRegisters << ';' << s.cerfUnified << ';'
+        << s.cacheExt << ';' << s.staticWarpLimit;
+    return out.str();
+}
+
+std::string
+describeApp(const AppProfile &app)
+{
+    std::ostringstream out;
+    out << app.id << ';' << app.aluPerLoad << ';' << app.loadsBackToBack
+        << ';' << app.hasStore << ';' << app.warpsPerCta << ';'
+        << app.regsPerWarp << ';' << app.sharedMemPerCta << ';'
+        << app.iterations << ';' << app.ctasPerSmOfGrid << ';'
+        << app.seed;
+    for (const LoadSpec &load : app.loads) {
+        out << ";L" << static_cast<int>(load.cls) << ',' << load.lines
+            << ',' << static_cast<int>(load.scope) << ',' << load.fanout
+            << ',' << load.hotLines << ',' << load.hotProbability;
+    }
+    return out.str();
+}
+
+std::string
+describeConfig(const GpuConfig &cfg, const LbConfig &lb,
+               const RunnerOptions &options, const SchemeConfig &scheme)
+{
+    std::ostringstream out;
+    out << cfg.numSms << ';' << cfg.l1.sizeBytes << ';' << cfg.l1.ways
+        << ';' << cfg.l2.sizeBytes << ';' << cfg.maxWarpsPerSm << ';'
+        << cfg.registerFileBytesPerSm << ';' << cfg.dramBandwidthGBs
+        << ';' << cfg.maxCycles << ';' << cfg.warmupCycles << ';'
+        << cfg.l1HitLatency << ';' << cfg.l2Latency << ';'
+        << options.simSms << ';' << options.maxCycles;
+    // Linebacker constants only matter to schemes that run a victim
+    // mechanism; keying them for every scheme would needlessly re-run
+    // baselines across LbConfig sweeps.
+    if (scheme.victim != VictimMode::Off ||
+        scheme.throttle == ThrottleMode::DynamicCta) {
+        out << ';' << lb.monitorPeriod << ';' << lb.hitRatioThreshold
+            << ';' << lb.ipcVarUpper << ';' << lb.ipcVarLower << ';'
+            << lb.vttWays << ';' << lb.vttMaxPartitions << ';'
+            << lb.vttAccessLatency << ';' << lb.victimRegOffset;
+    }
+    return out.str();
+}
+
+std::string
+serializeMetrics(const RunMetrics &m)
+{
+    std::ostringstream out;
+    out.precision(17);
+    const SimStats &s = m.stats;
+    out << m.ipc << ',' << m.energyJ << ',' << m.avgVictimRegs << ','
+        << m.monitoringWindows << ',' << m.victimSpaceUtilization << ','
+        << s.cycles << ',' << s.instructionsIssued << ',' << s.l1.l1Hits
+        << ',' << s.l1.regHits << ',' << s.l1.misses << ','
+        << s.l1.bypasses << ',' << s.coldMisses << ','
+        << s.capacityMisses << ',' << s.evictions << ','
+        << s.victimLinesStored << ',' << s.vttProbes << ','
+        << s.rfAccesses << ',' << s.rfBankConflicts << ','
+        << s.dramReads << ',' << s.dramWrites << ','
+        << s.dramBackupWrites << ',' << s.dramRestoreReads << ','
+        << s.l2Accesses << ',' << s.l2Hits << ','
+        << s.ctaThrottleEvents << ',' << s.ctaActivateEvents << ','
+        << s.monitoringPeriods << ',' << s.selectedLoads << ','
+        << s.avgActiveRegisters << ','
+        << s.avgStaticallyUnusedRegisters << ','
+        << s.avgDynamicallyUnusedRegisters << ','
+        << s.writeEvicts << ',' << s.writeNoAllocates << ','
+        << s.victimInvalidations << ',' << s.rfVictimAccesses;
+    return out.str();
+}
+
+bool
+deserializeMetrics(const std::string &text, RunMetrics &m)
+{
+    std::istringstream in(text);
+    SimStats &s = m.stats;
+    char c;
+    auto get = [&in, &c](auto &field) {
+        in >> field;
+        in >> c;
+        return static_cast<bool>(in) || in.eof();
+    };
+    return get(m.ipc) && get(m.energyJ) && get(m.avgVictimRegs) &&
+        get(m.monitoringWindows) && get(m.victimSpaceUtilization) &&
+        get(s.cycles) && get(s.instructionsIssued) && get(s.l1.l1Hits) &&
+        get(s.l1.regHits) && get(s.l1.misses) && get(s.l1.bypasses) &&
+        get(s.coldMisses) && get(s.capacityMisses) && get(s.evictions) &&
+        get(s.victimLinesStored) && get(s.vttProbes) &&
+        get(s.rfAccesses) && get(s.rfBankConflicts) &&
+        get(s.dramReads) && get(s.dramWrites) &&
+        get(s.dramBackupWrites) && get(s.dramRestoreReads) &&
+        get(s.l2Accesses) && get(s.l2Hits) &&
+        get(s.ctaThrottleEvents) && get(s.ctaActivateEvents) &&
+        get(s.monitoringPeriods) && get(s.selectedLoads) &&
+        get(s.avgActiveRegisters) &&
+        get(s.avgStaticallyUnusedRegisters) &&
+        get(s.avgDynamicallyUnusedRegisters) && get(s.writeEvicts) &&
+        get(s.writeNoAllocates) && get(s.victimInvalidations) &&
+        get(s.rfVictimAccesses);
+}
+
+} // namespace
+
+double
+geomean(const std::vector<double> &values)
+{
+    double log_sum = 0.0;
+    std::size_t count = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++count;
+        }
+    }
+    return count ? std::exp(log_sum / count) : 0.0;
+}
+
+SimRunner::SimRunner(GpuConfig base_cfg, LbConfig lb_cfg,
+                     RunnerOptions options)
+    : baseCfg_(base_cfg), lbCfg_(lb_cfg), options_(options)
+{
+}
+
+RunMetrics
+SimRunner::run(const AppProfile &app, const SchemeConfig &scheme)
+{
+    if (!options_.useMemoCache)
+        return runUncached(app, scheme);
+
+    MemoCache cache(MemoCache::defaultPath());
+    std::ostringstream key_src;
+    key_src << kCacheVersion << '#' << describeApp(app) << '#'
+            << describeScheme(scheme) << '#'
+            << describeConfig(baseCfg_, lbCfg_, options_, scheme);
+    std::ostringstream key;
+    key << app.id << ':' << scheme.name << ':' << std::hex
+        << fnv1a(key_src.str());
+
+    if (auto hit = cache.lookup(key.str())) {
+        RunMetrics metrics;
+        metrics.appId = app.id;
+        metrics.schemeName = scheme.name;
+        if (deserializeMetrics(*hit, metrics))
+            return metrics;
+    }
+
+    RunMetrics metrics = runUncached(app, scheme);
+    cache.store(key.str(), serializeMetrics(metrics));
+    return metrics;
+}
+
+RunMetrics
+SimRunner::runUncached(const AppProfile &app, const SchemeConfig &scheme)
+{
+    GpuConfig cfg = options_.simSms
+        ? baseCfg_.scaleTo(options_.simSms)
+        : baseCfg_;
+    if (options_.maxCycles)
+        cfg.maxCycles = options_.maxCycles;
+
+    const KernelInfo kernel = app.buildKernel(cfg);
+
+    GpuBuildOptions build;
+    if (scheme.cerfUnified) {
+        build.l1ExtraWays += cerfExtraWays(cfg, kernel);
+        build.cerfUnified = true;
+    }
+    if (scheme.cacheExt) {
+        std::uint32_t idle_bytes = staticallyUnusedRegBytes(cfg, kernel);
+        if (scheme.throttle == ThrottleMode::StaticWarp) {
+            idle_bytes += durBytesForWarpLimit(cfg, kernel,
+                                               scheme.staticWarpLimit);
+        }
+        // With Linebacker on top (LB+CacheExt), the dynamically unused
+        // space stays with the victim cache, so only SUR extends L1.
+        build.l1ExtraWays += cacheExtExtraWays(cfg, idle_bytes);
+    }
+
+    Gpu gpu(cfg, build);
+
+    // Wire the per-SM policy stack.
+    std::vector<std::unique_ptr<SmControllerIf>> owned;
+    std::vector<SmControllerIf *> controllers(gpu.numSms(), nullptr);
+    std::vector<Linebacker *> lbs;
+    for (std::uint32_t i = 0; i < gpu.numSms(); ++i) {
+        SmControllerIf *inner = nullptr;
+        switch (scheme.throttle) {
+          case ThrottleMode::StaticWarp:
+            owned.push_back(std::make_unique<StaticWarpLimiter>(
+                scheme.staticWarpLimit));
+            inner = owned.back().get();
+            break;
+          case ThrottleMode::PcalTokens:
+            owned.push_back(std::make_unique<Pcal>(gpu.config()));
+            inner = owned.back().get();
+            break;
+          case ThrottleMode::Ccws:
+            // CCWS attaches itself to the L1's victim hooks as an
+            // observation tap; it cannot be combined with a victim
+            // cache.
+            owned.push_back(
+                std::make_unique<Ccws>(gpu.config(), &gpu.sm(i)));
+            inner = owned.back().get();
+            break;
+          case ThrottleMode::None:
+          case ThrottleMode::DynamicCta:
+            break;
+        }
+
+        if (scheme.victim != VictimMode::Off) {
+            owned.push_back(std::make_unique<Linebacker>(
+                gpu.config(), lbCfg_, scheme, &gpu.sm(i), &gpu.stats(),
+                inner));
+            lbs.push_back(static_cast<Linebacker *>(owned.back().get()));
+            controllers[i] = owned.back().get();
+        } else {
+            controllers[i] = inner;
+        }
+    }
+    gpu.setControllers(controllers);
+
+    const SimStats &stats = gpu.runKernel(kernel);
+
+    RunMetrics metrics;
+    metrics.appId = app.id;
+    metrics.schemeName = scheme.name;
+    metrics.stats = stats;
+    metrics.ipc = stats.ipc();
+
+    const bool lb_active = !lbs.empty();
+    EnergyModel energy;
+    metrics.energyJ =
+        energy.compute(stats, gpu.config(), lb_active).total();
+
+    if (lb_active) {
+        double victim = 0.0;
+        std::uint32_t windows = 0;
+        for (Linebacker *lb : lbs) {
+            victim += lb->avgVictimRegs(stats.cycles);
+            windows = std::max(windows, lb->monitoringWindows());
+        }
+        metrics.avgVictimRegs = victim / lbs.size();
+        metrics.monitoringWindows = windows;
+        const double idle = stats.avgStaticallyUnusedRegisters +
+            stats.avgDynamicallyUnusedRegisters;
+        metrics.victimSpaceUtilization =
+            idle > 0.0 ? metrics.avgVictimRegs / idle : 0.0;
+    }
+    return metrics;
+}
+
+} // namespace lbsim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Simulation runner: wires an (app, scheme, config) triple into a GPU,
+ * executes it, and returns the derived metrics benches consume.
+ *
+ * The runner owns the policy wiring the core model keeps out of scope:
+ * which controller(s) to attach per SM (Linebacker, PCAL, static warp
+ * limiting, chained combinations), how many extra L1 ways CERF/CacheExt
+ * provision, and which register space victim caching may use.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "power/energy_model.hpp"
+#include "workload/app_profile.hpp"
+
+namespace lbsim
+{
+
+/** Metrics distilled from one simulation run. */
+struct RunMetrics
+{
+    std::string appId;
+    std::string schemeName;
+    SimStats stats;
+    double ipc = 0.0;
+    double energyJ = 0.0;
+    /** Time-averaged victim-cache registers (LB schemes only). */
+    double avgVictimRegs = 0.0;
+    /** Load Monitor windows until selection/disable (SM 0). */
+    std::uint32_t monitoringWindows = 0;
+    /** Idle register-file utilization as victim space (Fig 10). */
+    double victimSpaceUtilization = 0.0;
+};
+
+/** Runner options shared across a bench binary. */
+struct RunnerOptions
+{
+    /** SMs to simulate (shared resources scaled); 0 keeps cfg.numSms. */
+    std::uint32_t simSms = 2;
+    /**
+     * Cycle budget per run; 0 keeps cfg.maxCycles. The default is long
+     * enough that Linebacker's two 50k-cycle monitoring windows amortize
+     * as they do over the paper's full-application runs.
+     */
+    Cycle maxCycles = 1000000;
+    /** Memoize results in buildDir/simcache.csv. */
+    bool useMemoCache = true;
+};
+
+/** Runs one (app, scheme) pair on @p base_cfg. */
+class SimRunner
+{
+  public:
+    explicit SimRunner(GpuConfig base_cfg = {}, LbConfig lb_cfg = {},
+                       RunnerOptions options = {});
+
+    /**
+     * Execute @p app under @p scheme.
+     *
+     * Best-SWL schemes must carry their warp limit (use the oracle to
+     * find it); Linebacker/PCAL tune themselves at runtime.
+     */
+    RunMetrics run(const AppProfile &app, const SchemeConfig &scheme);
+
+    const GpuConfig &baseConfig() const { return baseCfg_; }
+    const LbConfig &lbConfig() const { return lbCfg_; }
+    const RunnerOptions &options() const { return options_; }
+
+    /** Mutable access for sweeps (cache sizes, VTT geometry). */
+    GpuConfig &baseConfig() { return baseCfg_; }
+    LbConfig &lbConfig() { return lbCfg_; }
+
+  private:
+    RunMetrics runUncached(const AppProfile &app,
+                           const SchemeConfig &scheme);
+
+    GpuConfig baseCfg_;
+    LbConfig lbCfg_;
+    RunnerOptions options_;
+};
+
+/** Geometric mean of @p values (ignores non-positive entries). */
+double geomean(const std::vector<double> &values);
+
+} // namespace lbsim

@@ -1,0 +1,140 @@
+#include "lb/backup_engine.hpp"
+
+#include "common/log.hpp"
+#include "core/sm.hpp"
+
+namespace lbsim
+{
+
+BackupEngine::BackupEngine(const GpuConfig &gpu, const LbConfig &lb,
+                           Sm *sm, SimStats *stats)
+    : gpu_(gpu), lb_(lb), sm_(sm), stats_(stats)
+{
+}
+
+bool
+BackupEngine::busy() const
+{
+    if (!pendingLines_.empty() || !buffer_.empty() ||
+        !pendingRestores_.empty()) {
+        return true;
+    }
+    for (const auto &[cta, job] : jobs_) {
+        if (!job.done())
+            return true;
+    }
+    return false;
+}
+
+void
+BackupEngine::startBackup(std::uint32_t cta_hw_id, RegNum first_reg,
+                          std::uint32_t num_regs, Addr backup_addr,
+                          Cycle now)
+{
+    (void)now;
+    Job job;
+    job.linesTotal = num_regs;
+    job.isBackup = true;
+    jobs_[cta_hw_id] = job;
+    for (std::uint32_t i = 0; i < num_regs; ++i) {
+        pendingLines_.push_back({cta_hw_id, first_reg + i,
+                                 backup_addr + static_cast<Addr>(i) *
+                                     kLineBytes,
+                                 true});
+    }
+}
+
+void
+BackupEngine::startRestore(std::uint32_t cta_hw_id, RegNum first_reg,
+                           std::uint32_t num_regs, Addr backup_addr,
+                           Cycle now)
+{
+    (void)now;
+    Job job;
+    job.linesTotal = num_regs;
+    job.isBackup = false;
+    jobs_[cta_hw_id] = job;
+    for (std::uint32_t i = 0; i < num_regs; ++i) {
+        pendingLines_.push_back({cta_hw_id, first_reg + i,
+                                 backup_addr + static_cast<Addr>(i) *
+                                     kLineBytes,
+                                 false});
+    }
+}
+
+bool
+BackupEngine::backupComplete(std::uint32_t cta_hw_id) const
+{
+    const auto it = jobs_.find(cta_hw_id);
+    return it != jobs_.end() && it->second.isBackup && it->second.done();
+}
+
+bool
+BackupEngine::restoreComplete(std::uint32_t cta_hw_id) const
+{
+    const auto it = jobs_.find(cta_hw_id);
+    return it != jobs_.end() && !it->second.isBackup && it->second.done();
+}
+
+void
+BackupEngine::clearJob(std::uint32_t cta_hw_id)
+{
+    jobs_.erase(cta_hw_id);
+}
+
+void
+BackupEngine::tick(Cycle now)
+{
+    // Fill staging-buffer slots: one register per cycle moves between the
+    // register file and the buffer (charging the RF bank).
+    if (!pendingLines_.empty() &&
+        buffer_.size() < lb_.backupBufferEntries) {
+        Transfer transfer = pendingLines_.front();
+        pendingLines_.pop_front();
+        sm_->regFile().accessRegister(transfer.reg, !transfer.isBackup,
+                                      now);
+        buffer_.push_back(transfer);
+    }
+
+    // Drain one buffer entry per cycle toward the interconnect.
+    if (!buffer_.empty() &&
+        sm_->interconnect().canAcceptRequest(sm_->id())) {
+        const Transfer transfer = buffer_.front();
+        buffer_.pop_front();
+
+        MemRequest req;
+        req.lineAddr = transfer.memAddr;
+        req.kind = transfer.isBackup ? RequestKind::RegBackup
+                                     : RequestKind::RegRestore;
+        req.smId = sm_->id();
+        req.bypassL2 = true;
+        req.issued = now;
+        sm_->interconnect().sendRequest(req, now);
+
+        if (transfer.isBackup) {
+            // Writes complete silently; count the line as backed up when
+            // it leaves the staging buffer.
+            auto it = jobs_.find(transfer.ctaHwId);
+            if (it != jobs_.end())
+                ++it->second.linesDone;
+        } else {
+            pendingRestores_[transfer.memAddr] = transfer.ctaHwId;
+        }
+    }
+}
+
+void
+BackupEngine::onResponse(const MemResponse &response, Cycle now)
+{
+    (void)now;
+    auto it = pendingRestores_.find(response.lineAddr);
+    if (it == pendingRestores_.end())
+        panic("restore response for unknown address");
+    auto job = jobs_.find(it->second);
+    if (job == jobs_.end())
+        panic("restore response for unknown job");
+    ++job->second.linesDone;
+    pendingRestores_.erase(it);
+}
+
+} // namespace lbsim

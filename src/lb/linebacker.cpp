@@ -1,0 +1,468 @@
+#include <cstdio>
+#include <cstdlib>
+#include "lb/linebacker.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+namespace
+{
+
+/** Dedicated off-chip region for register images, far above data. */
+Addr
+backupRegionBase(std::uint32_t sm_id)
+{
+    return (Addr{1} << 40) + (static_cast<Addr>(sm_id) << 30);
+}
+
+} // namespace
+
+Linebacker::Linebacker(const GpuConfig &gpu, const LbConfig &lb,
+                       const SchemeConfig &scheme, Sm *sm,
+                       SimStats *stats, SmControllerIf *inner)
+    : gpu_(gpu), lb_(lb), scheme_(scheme), sm_(sm), stats_(stats),
+      inner_(inner), lm_(lb_), vtt_(gpu, lb_, stats), ipc_(lb_),
+      ctaMgr_(gpu.maxCtasPerSm),
+      engine_(std::make_unique<BackupEngine>(gpu, lb_, sm, stats)),
+      nextWindowEnd_(lb.monitorPeriod)
+{
+    sm->setRestoreSink(engine_.get());
+    sm->l1().setVictimCache(this);
+
+    if (scheme_.victim == VictimMode::All) {
+        // Fig 11 "Victim Caching": no monitoring at all; every evicted
+        // line is preserved in whatever idle register space exists.
+        phase_ = Phase::Active;
+        vtt_.setTagOnlyMode(false);
+    } else {
+        phase_ = Phase::Monitoring;
+        vtt_.setTagOnlyMode(true);
+    }
+}
+
+bool
+Linebacker::lineBelongsToSelectedLoad(std::uint8_t hpc) const
+{
+    if (scheme_.victim == VictimMode::All)
+        return true;
+    return lm_.isSelected(hpc);
+}
+
+std::uint32_t
+Linebacker::availableVictimRegs(const Sm &sm) const
+{
+    // Statically unused space: registers above the victim offset that no
+    // CTA owns.
+    std::uint32_t available =
+        sm.regFile().freeRegsAbove(lb_.victimRegOffset);
+
+    // Dynamically unused space: registers of throttled CTAs whose backup
+    // completed (C bit), provided the scheme may use DUR.
+    if (scheme_.useDynamicUnusedRegs) {
+        for (const Cta &cta : sm.ctas()) {
+            if (!cta.valid || cta.active)
+                continue;
+            if (!ctaMgr_.info(cta.hwId).c)
+                continue;
+            const RegNum lo = std::max<RegNum>(cta.firstRegNum,
+                                               lb_.victimRegOffset);
+            const RegNum hi = cta.firstRegNum + cta.numRegs;
+            if (hi > lo)
+                available += hi - lo;
+        }
+    }
+    return available;
+}
+
+void
+Linebacker::resizeVictimSpace(Sm &sm, Cycle now)
+{
+    (void)now;
+    // Monitoring runs on the tag SRAM alone — register occupancy is
+    // irrelevant and the partitions must stay fully active.
+    if (vtt_.tagOnlyMode())
+        return;
+    if (phase_ != Phase::Active) {
+        vtt_.setActivePartitions(0);
+        return;
+    }
+    const std::uint32_t part_lines = vtt_.sets() * vtt_.ways();
+    const std::uint32_t parts = availableVictimRegs(sm) / part_lines;
+    if (parts != vtt_.activePartitions())
+        vtt_.setActivePartitions(parts);
+}
+
+void
+Linebacker::onCycle(Sm &sm, Cycle now)
+{
+    if (inner_)
+        inner_->onCycle(sm, now);
+
+    engine_->tick(now);
+
+    // Backup completion gates victim-space activation (C bit).
+    if (backupWaitCta_ >= 0 &&
+        engine_->backupComplete(static_cast<std::uint32_t>(backupWaitCta_))) {
+        ctaMgr_.markBackupComplete(
+            static_cast<std::uint32_t>(backupWaitCta_));
+        engine_->clearJob(static_cast<std::uint32_t>(backupWaitCta_));
+        backupWaitCta_ = -1;
+        resizeVictimSpace(sm, now);
+    }
+
+    // Restore completion re-activates the CTA.
+    if (restoreWaitCta_ >= 0 &&
+        engine_->restoreComplete(
+            static_cast<std::uint32_t>(restoreWaitCta_))) {
+        const auto cta_id = static_cast<std::uint32_t>(restoreWaitCta_);
+        engine_->clearJob(cta_id);
+        restoreWaitCta_ = -1;
+        sm.setCtaActive(cta_id, true, now);
+        ++stats_->ctaActivateEvents;
+    }
+
+    if (now >= nextWindowEnd_) {
+        endWindow(sm, now);
+        nextWindowEnd_ = now + lb_.monitorPeriod;
+    }
+
+    // Only real victim storage counts toward the occupancy average (the
+    // monitoring tag SRAM holds no data).
+    if (!vtt_.tagOnlyMode())
+        victimRegAccum_ += vtt_.capacityLines();
+}
+
+void
+Linebacker::endWindow(Sm &sm, Cycle now)
+{
+    switch (phase_) {
+      case Phase::Monitoring: {
+        // Close the IPC window every period so the unthrottled reference
+        // is a genuine per-window IPC, not an inflated cumulative value.
+        ipc_.endWindow(sm.instructionsIssued(), lb_.monitorPeriod);
+        const MonitorState state = lm_.endWindow();
+        if (state == MonitorState::Selected) {
+            phase_ = Phase::Active;
+            vtt_.setTagOnlyMode(false);
+            resizeVictimSpace(sm, now);
+            if (!statsRecorded_ && sm.id() == 0) {
+                stats_->monitoringPeriods = lm_.windowsUsed();
+                stats_->selectedLoads = lm_.selectedCount();
+                statsRecorded_ = true;
+            }
+            // The kernel is cache sensitive: proactively throttle one CTA
+            // right after the monitoring period (Section 3.2). The last
+            // monitoring window serves as the unthrottled reference.
+            refIpc_ = ipc_.currentIpc();
+            if (scheme_.throttle == ThrottleMode::DynamicCta)
+                throttleOne(sm, now);
+        } else if (state == MonitorState::Disabled) {
+            phase_ = Phase::Disabled;
+            vtt_.setTagOnlyMode(false);
+            vtt_.setActivePartitions(0);
+            if (!statsRecorded_ && sm.id() == 0) {
+                stats_->monitoringPeriods = lm_.windowsUsed();
+                stats_->selectedLoads = 0;
+                statsRecorded_ = true;
+            }
+        }
+        break;
+      }
+      case Phase::Active: {
+        if (scheme_.throttle != ThrottleMode::DynamicCta)
+            break;
+        ipc_.endWindow(sm.instructionsIssued(), lb_.monitorPeriod);
+        // Postpone decisions while a backup/restore is still in flight;
+        // the IPC sample would mix two configurations.
+        if (backupWaitCta_ >= 0 || restoreWaitCta_ >= 0)
+            break;
+        // The window right after a configuration change carries the
+        // transition transient (backup traffic, cold victim lines);
+        // decisions compare settled windows against the last settled
+        // reference.
+        if (settle_) {
+            settle_ = false;
+            break;
+        }
+        const double cur = ipc_.currentIpc();
+        const double var =
+            refIpc_ > 0.0 ? (cur - refIpc_) / refIpc_ : 0.0;
+
+        // Remember the best settled configuration. The record decays
+        // slowly so a stale transient peak cannot be chased forever.
+        bestIpc_ *= 0.99;
+        if (cur > bestIpc_) {
+            bestIpc_ = cur;
+            bestActiveCtas_ = sm.activeCtaCount();
+        }
+        // Opt-in controller trace (set LBTRACE=1): one line per decision
+        // window on SM 0, for tuning and debugging throttle behaviour.
+        if (std::getenv("LBTRACE") && sm.id() == 0) {
+            std::fprintf(stderr,
+                         "lbtrace cyc=%llu ipc=%.3f ref=%.3f var=%+.2f "
+                         "activeCtas=%u vttParts=%u lastAction=%d\n",
+                         static_cast<unsigned long long>(now), cur,
+                         refIpc_, var, sm.activeCtaCount(),
+                         vtt_.activePartitions(),
+                         static_cast<int>(lastAction_));
+        }
+        if (var > lb_.ipcVarUpper) {
+            consecutiveBad_ = 0;
+            // An IPC rise right after undoing a bad throttle is the
+            // recovery itself, not evidence that throttling helps —
+            // re-throttling here would oscillate forever.
+            if (lastAction_ == LastAction::Activated) {
+                lastAction_ = LastAction::None;
+                refIpc_ = cur;
+            } else if (sm.activeCtaCount() > 1) {
+                refIpc_ = cur;
+                throttleOne(sm, now);
+            }
+        } else if (var < lb_.ipcVarLower) {
+            // A single bad window right after marching is often an
+            // overshoot; persistent degradation (two windows) reverts.
+            const bool fresh_overshoot =
+                lastAction_ == LastAction::Throttled;
+            ++consecutiveBad_;
+            if ((fresh_overshoot || consecutiveBad_ >= 2) &&
+                reactivateOne(sm, now)) {
+                lastAction_ = LastAction::Activated;
+                settle_ = true;
+                consecutiveBad_ = 0;
+                refIpc_ = cur;
+            } else if (consecutiveBad_ >= 2) {
+                // Nothing to re-activate; track the measured state so the
+                // controller is not stuck against a stale high-water
+                // mark.
+                refIpc_ = cur;
+                consecutiveBad_ = 0;
+            }
+        } else {
+            consecutiveBad_ = 0;
+            lastAction_ = LastAction::None;
+            refIpc_ = cur;
+            // Well below the best configuration on record (e.g.\ after
+            // reverting on a CTA-rotation transient): step back toward
+            // it rather than idling in an inferior state.
+            if (cur < 0.85 * bestIpc_) {
+                const std::uint32_t active = sm.activeCtaCount();
+                if (active > bestActiveCtas_ && active > 1)
+                    throttleOne(sm, now);
+                else if (active < bestActiveCtas_)
+                    reactivateOne(sm, now);
+            }
+        }
+        break;
+      }
+      case Phase::Disabled:
+        break;
+    }
+}
+
+void
+Linebacker::throttleOne(Sm &sm, Cycle now)
+{
+    const std::int32_t cta_id = sm.highestActiveCta();
+    if (cta_id < 0)
+        return;
+    const Cta &cta = sm.cta(static_cast<std::uint32_t>(cta_id));
+    sm.setCtaActive(static_cast<std::uint32_t>(cta_id), false, now);
+    ++stats_->ctaThrottleEvents;
+
+    lastAction_ = LastAction::Throttled;
+    settle_ = true;
+    const Addr ba = ctaMgr_.markThrottled(static_cast<std::uint32_t>(cta_id));
+    if (scheme_.backupRegisters) {
+        engine_->startBackup(static_cast<std::uint32_t>(cta_id),
+                             cta.firstRegNum, cta.numRegs, ba, now);
+        backupWaitCta_ = cta_id;
+    } else {
+        ctaMgr_.markBackupComplete(static_cast<std::uint32_t>(cta_id));
+        resizeVictimSpace(sm, now);
+    }
+}
+
+bool
+Linebacker::reactivateOne(Sm &sm, Cycle now)
+{
+    // One transfer at a time, and never re-activate a CTA whose backup
+    // has not finished draining (the restore would race the backup
+    // writes for the same register image).
+    if (restoreWaitCta_ >= 0 || backupWaitCta_ >= 0)
+        return false;
+    const std::int32_t cta_id = sm.lowestInactiveCta();
+    if (cta_id < 0)
+        return false;
+    if (scheme_.backupRegisters &&
+        !ctaMgr_.info(static_cast<std::uint32_t>(cta_id)).c) {
+        return false;
+    }
+    const Cta &cta = sm.cta(static_cast<std::uint32_t>(cta_id));
+
+    // The victim lines stored in this CTA's registers are clean, so the
+    // space can be reclaimed immediately; shrink the VTT first.
+    const Addr ba =
+        ctaMgr_.markReactivated(static_cast<std::uint32_t>(cta_id));
+    resizeVictimSpace(sm, now);
+
+    if (scheme_.backupRegisters) {
+        engine_->startRestore(static_cast<std::uint32_t>(cta_id),
+                              cta.firstRegNum, cta.numRegs, ba, now);
+        restoreWaitCta_ = cta_id;
+    } else {
+        sm.setCtaActive(static_cast<std::uint32_t>(cta_id), true, now);
+        ++stats_->ctaActivateEvents;
+    }
+    return true;
+}
+
+bool
+Linebacker::warpMayIssue(const Sm &sm, const Warp &warp) const
+{
+    // Throttled CTAs are gated by warp.active; delegate extra policy.
+    return inner_ ? inner_->warpMayIssue(sm, warp) : true;
+}
+
+bool
+Linebacker::warpBypassesL1(const Sm &sm, const Warp &warp) const
+{
+    return inner_ ? inner_->warpBypassesL1(sm, warp) : false;
+}
+
+void
+Linebacker::onCtaLaunched(Sm &sm, Cta &cta, Cycle now)
+{
+    (void)now;
+    if (ctaMgr_.regsPerCta() == 0 && sm.kernel()) {
+        ctaMgr_.beginKernel(sm.kernel()->regsPerCta(),
+                            backupRegionBase(sm.id()));
+    }
+    ctaMgr_.onLaunch(cta.hwId, cta.firstRegNum);
+    // A launch shrinks the statically unused space; the VTT must release
+    // partitions whose backing registers are no longer idle.
+    resizeVictimSpace(sm, now);
+    if (inner_)
+        inner_->onCtaLaunched(sm, cta, now);
+}
+
+void
+Linebacker::onCtaCompleted(Sm &sm, Cta &cta, Cycle now)
+{
+    ctaMgr_.onComplete(cta.hwId);
+    resizeVictimSpace(sm, now);
+    if (inner_)
+        inner_->onCtaCompleted(sm, cta, now);
+}
+
+bool
+Linebacker::onSchedulingOpportunity(Sm &sm, Cycle now)
+{
+    // A finished CTA frees resources: re-activate a throttled CTA before
+    // the dispatcher launches a fresh one (Section 3.2, P5).
+    if (sm.lowestInactiveCta() < 0 || restoreWaitCta_ >= 0)
+        return false;
+    return reactivateOne(sm, now);
+}
+
+void
+Linebacker::onMeasurementReset(Sm &sm, Cycle now)
+{
+    (void)now;
+    victimRegAccum_ = 0.0;
+    // The reset wiped the monitoring stats recorded at selection time;
+    // restore them so Fig 9 reporting survives the warm-up boundary.
+    if (sm.id() == 0 && statsRecorded_) {
+        stats_->monitoringPeriods = lm_.windowsUsed();
+        stats_->selectedLoads = lm_.selectedCount();
+    }
+    if (inner_)
+        inner_->onMeasurementReset(sm, now);
+}
+
+VictimProbeResult
+Linebacker::probeVictim(Addr line_addr, Cycle now)
+{
+    VictimProbeResult result;
+    if (phase_ == Phase::Disabled || vtt_.activePartitions() == 0)
+        return result;
+
+    const VttProbe probe = vtt_.probe(line_addr, now);
+    result.latency = probe.latency;
+    if (!probe.hit)
+        return result;
+
+    if (vtt_.tagOnlyMode()) {
+        result.tagOnlyHit = true;
+        return result;
+    }
+
+    // Data hit: the register read and the register-register move go
+    // through the RF banks.
+    result.hit = true;
+    result.regNum = probe.regNum;
+    result.latency += sm_->regFile().accessRegister(probe.regNum, false,
+                                                    now);
+    return result;
+}
+
+void
+Linebacker::notifyEviction(Addr line_addr, std::uint8_t hpc,
+                           std::uint8_t owner_warp, Cycle now)
+{
+    (void)owner_warp;
+    if (phase_ == Phase::Disabled)
+        return;
+
+    if (vtt_.tagOnlyMode()) {
+        // Monitoring: record the tag of every evicted line so re-accesses
+        // are observed even though L1 already dropped the line.
+        RegNum unused = 0;
+        vtt_.insert(line_addr, now, unused);
+        return;
+    }
+
+    if (vtt_.activePartitions() == 0)
+        return;
+    if (!lineBelongsToSelectedLoad(hpc)) {
+        ++stats_->victimStoreRejected;
+        return;
+    }
+
+    RegNum reg = 0;
+    if (vtt_.insert(line_addr, now, reg)) {
+        // The register-register move writes the line into the idle
+        // register.
+        sm_->regFile().accessRegister(reg, true, now);
+        ++stats_->rfVictimAccesses;
+        ++stats_->victimLinesStored;
+    } else {
+        ++stats_->victimStoreRejected;
+    }
+}
+
+void
+Linebacker::notifyAccess(Addr line_addr, Pc pc, std::uint8_t hpc,
+                         std::uint8_t warp_slot, bool hit, Cycle now)
+{
+    (void)now;
+    (void)line_addr;
+    (void)warp_slot;
+    if (phase_ == Phase::Monitoring)
+        lm_.recordAccess(pc, hpc, hit);
+}
+
+void
+Linebacker::notifyStore(Addr line_addr, Cycle now)
+{
+    (void)now;
+    if (vtt_.tagOnlyMode()) {
+        vtt_.invalidate(line_addr);
+        return;
+    }
+    if (vtt_.invalidate(line_addr))
+        ++stats_->victimInvalidations;
+}
+
+} // namespace lbsim

@@ -1,0 +1,111 @@
+#include "lb/throttle_logic.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+IpcMonitor::IpcMonitor(const LbConfig &cfg) : cfg_(cfg)
+{
+}
+
+void
+IpcMonitor::endWindow(std::uint64_t instructions_issued, Cycle period)
+{
+    const std::uint64_t delta = instructions_issued - lastIssued_;
+    lastIssued_ = instructions_issued;
+    previousIpc_ = currentIpc_;
+    currentIpc_ = period ? static_cast<double>(delta) / period : 0.0;
+    ++windows_;
+}
+
+double
+IpcMonitor::ipcVariation()
+ const
+{
+    if (previousIpc_ <= 0.0)
+        return 0.0;
+    return (currentIpc_ - previousIpc_) / previousIpc_;
+}
+
+ThrottleDecision
+IpcMonitor::decide() const
+{
+    const double var = ipcVariation();
+    if (var > cfg_.ipcVarUpper)
+        return ThrottleDecision::ThrottleOne;
+    if (var < cfg_.ipcVarLower)
+        return ThrottleDecision::ActivateOne;
+    return ThrottleDecision::Hold;
+}
+
+CtaManager::CtaManager(std::uint32_t max_ctas) : table_(max_ctas)
+{
+}
+
+void
+CtaManager::beginKernel(std::uint32_t regs_per_cta, Addr backup_base)
+{
+    regsPerCta_ = regs_per_cta;
+    backupBase_ = backup_base;
+    bp_ = backup_base;
+    for (PerCtaInfo &info : table_)
+        info = PerCtaInfo{};
+}
+
+void
+CtaManager::onLaunch(std::uint32_t cta_hw_id, RegNum frn)
+{
+    PerCtaInfo &info = table_.at(cta_hw_id);
+    info.act = true;
+    info.frn = frn;
+    info.ba = kNoAddr;
+    info.c = false;
+}
+
+void
+CtaManager::onComplete(std::uint32_t cta_hw_id)
+{
+    table_.at(cta_hw_id) = PerCtaInfo{};
+}
+
+Addr
+CtaManager::markThrottled(std::uint32_t cta_hw_id)
+{
+    PerCtaInfo &info = table_.at(cta_hw_id);
+    if (!info.act)
+        panic("throttling an already inactive CTA %u", cta_hw_id);
+    info.act = false;
+    info.c = false;
+    info.ba = bp_;
+    bp_ += static_cast<Addr>(regsPerCta_) * kLineBytes;
+    return info.ba;
+}
+
+void
+CtaManager::markBackupComplete(std::uint32_t cta_hw_id)
+{
+    table_.at(cta_hw_id).c = true;
+}
+
+Addr
+CtaManager::markReactivated(std::uint32_t cta_hw_id)
+{
+    PerCtaInfo &info = table_.at(cta_hw_id);
+    if (info.act)
+        panic("re-activating an already active CTA %u", cta_hw_id);
+    info.act = true;
+    info.c = false;
+    const Addr ba = info.ba;
+    info.ba = kNoAddr;
+    bp_ -= static_cast<Addr>(regsPerCta_) * kLineBytes;
+    return ba;
+}
+
+const PerCtaInfo &
+CtaManager::info(std::uint32_t cta_hw_id) const
+{
+    return table_.at(cta_hw_id);
+}
+
+} // namespace lbsim

@@ -1,0 +1,187 @@
+#include "lb/victim_tag_table.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+VictimTagTable::VictimTagTable(const GpuConfig &gpu, const LbConfig &lb,
+                               SimStats *stats)
+    : lb_(lb), stats_(stats), sets_(gpu.l1.sets()),
+      entries_(static_cast<std::size_t>(lb.vttMaxPartitions) * sets_ *
+               lb.vttWays)
+{
+}
+
+VictimTagTable::Entry &
+VictimTagTable::at(std::uint32_t partition, std::uint32_t set,
+                   std::uint32_t way)
+{
+    const std::size_t index =
+        (static_cast<std::size_t>(partition) * sets_ + set) * lb_.vttWays +
+        way;
+    return entries_[index];
+}
+
+std::uint32_t
+VictimTagTable::setIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(lineIndex(line_addr) % sets_);
+}
+
+void
+VictimTagTable::setTagOnlyMode(bool tag_only)
+{
+    if (tagOnly_ == tag_only)
+        return;
+    tagOnly_ = tag_only;
+    invalidateAll();
+    if (tag_only) {
+        // The tag SRAM physically exists regardless of register space, so
+        // monitoring uses every partition.
+        activeParts_ = lb_.vttMaxPartitions;
+    } else {
+        activeParts_ = 0;
+    }
+}
+
+void
+VictimTagTable::setActivePartitions(std::uint32_t count)
+{
+    if (count > lb_.vttMaxPartitions)
+        count = lb_.vttMaxPartitions;
+    if (count < activeParts_) {
+        // Deactivated partitions lose their entries (the backing
+        // registers are being returned to a reactivated CTA).
+        for (std::uint32_t p = count; p < activeParts_; ++p) {
+            for (std::uint32_t s = 0; s < sets_; ++s) {
+                for (std::uint32_t w = 0; w < lb_.vttWays; ++w)
+                    at(p, s, w) = Entry{};
+            }
+        }
+    }
+    activeParts_ = count;
+}
+
+std::uint32_t
+VictimTagTable::capacityLines() const
+{
+    return activeParts_ * sets_ * lb_.vttWays;
+}
+
+std::uint32_t
+VictimTagTable::validLines() const
+{
+    std::uint32_t count = 0;
+    for (const Entry &entry : entries_)
+        count += entry.valid ? 1 : 0;
+    return count;
+}
+
+RegNum
+VictimTagTable::regNumFor(std::uint32_t partition, std::uint32_t set,
+                          std::uint32_t way) const
+{
+    // Eq. 2: RN = Offset + N_VP * #VP_entries + X * #ways + Y.
+    return lb_.victimRegOffset + partition * (sets_ * lb_.vttWays) +
+        set * lb_.vttWays + way;
+}
+
+VttProbe
+VictimTagTable::probe(Addr line_addr, Cycle now)
+{
+    VttProbe result;
+    ++stats_->vttProbes;
+    const std::uint32_t set = setIndex(line_addr);
+    for (std::uint32_t p = 0; p < activeParts_; ++p) {
+        result.latency += lb_.vttAccessLatency;
+        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
+            Entry &entry = at(p, set, w);
+            if (entry.valid && entry.lineAddr == line_addr) {
+                entry.lastUse = now;
+                result.hit = true;
+                result.regNum = regNumFor(p, set, w);
+                stats_->vttProbeCycles += result.latency;
+                return result;
+            }
+        }
+    }
+    stats_->vttProbeCycles += result.latency;
+    return result;
+}
+
+bool
+VictimTagTable::insert(Addr line_addr, Cycle now, RegNum &reg_out)
+{
+    if (activeParts_ == 0)
+        return false;
+
+    const std::uint32_t set = setIndex(line_addr);
+
+    // A line must be unique across the table; refresh if present.
+    for (std::uint32_t p = 0; p < activeParts_; ++p) {
+        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
+            Entry &entry = at(p, set, w);
+            if (entry.valid && entry.lineAddr == line_addr) {
+                entry.lastUse = now;
+                reg_out = regNumFor(p, set, w);
+                return true;
+            }
+        }
+    }
+
+    // Prefer an invalid slot (store-invalidated lines are reused first),
+    // otherwise replace the LRU entry across active partitions.
+    std::uint32_t victim_p = 0;
+    std::uint32_t victim_w = 0;
+    bool found_invalid = false;
+    Cycle oldest = kNoCycle;
+    for (std::uint32_t p = 0; p < activeParts_ && !found_invalid; ++p) {
+        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
+            Entry &entry = at(p, set, w);
+            if (!entry.valid) {
+                victim_p = p;
+                victim_w = w;
+                found_invalid = true;
+                break;
+            }
+            if (entry.lastUse < oldest) {
+                oldest = entry.lastUse;
+                victim_p = p;
+                victim_w = w;
+            }
+        }
+    }
+
+    Entry &slot = at(victim_p, set, victim_w);
+    slot.valid = true;
+    slot.lineAddr = line_addr;
+    slot.lastUse = now;
+    reg_out = regNumFor(victim_p, set, victim_w);
+    return true;
+}
+
+bool
+VictimTagTable::invalidate(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    for (std::uint32_t p = 0; p < activeParts_; ++p) {
+        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
+            Entry &entry = at(p, set, w);
+            if (entry.valid && entry.lineAddr == line_addr) {
+                entry.valid = false;
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+void
+VictimTagTable::invalidateAll()
+{
+    for (Entry &entry : entries_)
+        entry = Entry{};
+}
+
+} // namespace lbsim

@@ -1,0 +1,83 @@
+#include "mem/interconnect.hpp"
+
+#include "common/log.hpp"
+#include "mem/memory_partition.hpp"
+
+namespace lbsim
+{
+
+Interconnect::Interconnect(const GpuConfig &cfg, SimStats *stats)
+    : cfg_(cfg), stats_(stats), partitions_(cfg.numMemPartitions, nullptr),
+      sinks_(cfg.numSms, nullptr),
+      maxInFlightPerSm_(cfg.l1MshrEntries + cfg.dramQueueDepth),
+      inFlightPerSm_(cfg.numSms, 0)
+{
+}
+
+void
+Interconnect::attachPartition(std::uint32_t index,
+                              MemoryPartition *partition)
+{
+    if (index >= partitions_.size())
+        panic("partition index %u out of range", index);
+    partitions_[index] = partition;
+}
+
+void
+Interconnect::attachSm(std::uint32_t sm_id, ResponseSinkIf *sink)
+{
+    if (sm_id >= sinks_.size())
+        panic("SM id %u out of range", sm_id);
+    sinks_[sm_id] = sink;
+}
+
+bool
+Interconnect::canAcceptRequest(std::uint32_t sm_id) const
+{
+    return inFlightPerSm_[sm_id] < maxInFlightPerSm_;
+}
+
+void
+Interconnect::sendRequest(const MemRequest &req, Cycle now)
+{
+    ++inFlightPerSm_[req.smId];
+    requests_.push_back({now + cfg_.icntLatency, req});
+}
+
+void
+Interconnect::sendResponse(const MemResponse &resp, Cycle now)
+{
+    responses_.push_back({now + cfg_.icntLatency, resp});
+}
+
+void
+Interconnect::tick(Cycle now)
+{
+    // Deliver requests whose hop latency elapsed; a full partition queue
+    // stalls that request (and, FIFO, those behind it).
+    std::size_t pending = requests_.size();
+    while (pending-- > 0) {
+        InFlightRequest entry = requests_.front();
+        requests_.pop_front();
+        if (entry.arrival > now) {
+            requests_.push_back(entry);
+            continue;
+        }
+        MemoryPartition *partition =
+            partitions_[partitionOf(entry.req.lineAddr)];
+        if (partition->deliver(entry.req, now)) {
+            --inFlightPerSm_[entry.req.smId];
+        } else {
+            requests_.push_back(entry);
+        }
+    }
+
+    while (!responses_.empty() && responses_.front().arrival <= now) {
+        const MemResponse resp = responses_.front().resp;
+        responses_.pop_front();
+        if (ResponseSinkIf *sink = sinks_[resp.smId])
+            sink->onResponse(resp, now);
+    }
+}
+
+} // namespace lbsim

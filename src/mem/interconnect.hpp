@@ -1,0 +1,90 @@
+/**
+ * @file
+ * SM <-> memory-partition interconnect.
+ *
+ * A latency/bandwidth-modelled crossbar: requests and responses cross in a
+ * fixed number of cycles (Table 1 interconnect hop), with bounded per-
+ * partition request queues providing backpressure toward the SMs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "mem/request.hpp"
+
+namespace lbsim
+{
+
+class MemoryPartition;
+class L1Cache;
+
+/** Callback sink for responses delivered to an SM. */
+class ResponseSinkIf
+{
+  public:
+    virtual ~ResponseSinkIf() = default;
+
+    /** A response arrived at the SM at cycle @p now. */
+    virtual void onResponse(const MemResponse &response, Cycle now) = 0;
+};
+
+/** Crossbar between @c numSms SMs and @c numMemPartitions partitions. */
+class Interconnect
+{
+  public:
+    Interconnect(const GpuConfig &cfg, SimStats *stats);
+
+    /** Register partition @p index (must be called for every partition). */
+    void attachPartition(std::uint32_t index, MemoryPartition *partition);
+
+    /** Register the response sink for @p sm_id. */
+    void attachSm(std::uint32_t sm_id, ResponseSinkIf *sink);
+
+    /** Backpressure check before sendRequest(). */
+    bool canAcceptRequest(std::uint32_t sm_id) const;
+
+    /** Send @p req toward its partition; arrives after the hop latency. */
+    void sendRequest(const MemRequest &req, Cycle now);
+
+    /** Send @p resp back to its SM; arrives after the hop latency. */
+    void sendResponse(const MemResponse &resp, Cycle now);
+
+    /** Deliver all traffic whose hop latency has elapsed by @p now. */
+    void tick(Cycle now);
+
+    /** Partition index serving @p line_addr. */
+    std::uint32_t
+    partitionOf(Addr line_addr) const
+    {
+        return static_cast<std::uint32_t>(lineIndex(line_addr) %
+                                          partitions_.size());
+    }
+
+  private:
+    struct InFlightRequest
+    {
+        Cycle arrival;
+        MemRequest req;
+    };
+    struct InFlightResponse
+    {
+        Cycle arrival;
+        MemResponse resp;
+    };
+
+    const GpuConfig &cfg_;
+    SimStats *stats_;
+    std::vector<MemoryPartition *> partitions_;
+    std::vector<ResponseSinkIf *> sinks_;
+    std::deque<InFlightRequest> requests_;
+    std::deque<InFlightResponse> responses_;
+    std::uint32_t maxInFlightPerSm_;
+    std::vector<std::uint32_t> inFlightPerSm_;
+};
+
+} // namespace lbsim

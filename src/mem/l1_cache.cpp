@@ -1,0 +1,246 @@
+#include "mem/l1_cache.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "mem/interconnect.hpp"
+
+namespace lbsim
+{
+
+L1Cache::L1Cache(const GpuConfig &cfg, std::uint32_t sm_id,
+                 Interconnect *icnt, SimStats *stats,
+                 std::uint32_t extra_ways)
+    : cfg_(cfg), smId_(sm_id), icnt_(icnt), stats_(stats),
+      tags_(cfg.l1.sets(), cfg.l1.ways + extra_ways),
+      mshrs_(cfg.l1MshrEntries, cfg.l1MshrMergesPerEntry)
+{
+}
+
+void
+L1Cache::scheduleCompletion(std::uint64_t access_id, Cycle ready)
+{
+    // Keep the queue ordered by ready cycle; latencies vary by outcome so
+    // a plain push_back would break drain order. Queues are short (bounded
+    // by in-flight accesses), so the linear scan is cheap.
+    auto it = std::upper_bound(
+        completed_.begin(), completed_.end(), ready,
+        [](Cycle c, const auto &entry) { return c < entry.first; });
+    completed_.insert(it, {ready, access_id});
+}
+
+L1Outcome
+L1Cache::access(const L1Access &access, Cycle now)
+{
+    // NOTE: a stalled access is retried by the LDST unit every cycle, so
+    // observers, locality notifications, and statistics must only fire
+    // on the accepted paths — never before a Stall* return.
+    if (access.isWrite)
+        return handleStore(access, now);
+
+    if (tags_.access(access.lineAddr, access.hpc, now,
+                     access.warpSlot)) {
+        // CERF: the unified structure serves cache data out of register-
+        // file banks, so the data read arbitrates for a bank.
+        std::uint32_t bank_delay = 0;
+        if (bankArbiter_)
+            bank_delay = bankArbiter_->arbitrateLine(access.lineAddr,
+                                                     false, now);
+        ++stats_->l1.l1Hits;
+        if (observer_)
+            observer_(access.lineAddr, access.pc, false, now);
+        if (victim_)
+            victim_->notifyAccess(access.lineAddr, access.pc,
+                                  access.hpc, access.warpSlot, true,
+                                  now);
+        scheduleCompletion(access.accessId,
+                           now + cfg_.l1HitLatency + bank_delay);
+        return L1Outcome::Hit;
+    }
+    return handleLoadMiss(access, now);
+}
+
+L1Outcome
+L1Cache::handleLoadMiss(const L1Access &access, Cycle now)
+{
+    // An in-flight fetch for the same line: merge (or stall if the merge
+    // list is full). No victim probe — the line just missed everywhere.
+    if (mshrs_.pending(access.lineAddr)) {
+        const bool allocate = !access.bypassL1;
+        switch (mshrs_.registerMiss(access.lineAddr, access.accessId,
+                                    allocate)) {
+          case MshrOutcome::NoMergeSlot:
+            return L1Outcome::StallNoMshr;
+          case MshrOutcome::Merged:
+            if (observer_)
+                observer_(access.lineAddr, access.pc, false, now);
+            if (victim_)
+                victim_->notifyAccess(access.lineAddr, access.pc,
+                                      access.hpc, access.warpSlot,
+                                      false, now);
+            if (access.bypassL1) {
+                ++stats_->l1.bypasses;
+            } else {
+                ++stats_->l1.misses;
+                // Merged misses share the classification of the miss
+                // that allocated the in-flight fetch.
+                const auto fill = pendingFills_.find(access.lineAddr);
+                if (fill != pendingFills_.end() && fill->second.wasCold)
+                    ++stats_->coldMisses;
+                else
+                    ++stats_->capacityMisses;
+            }
+            return L1Outcome::MergedMiss;
+          default:
+            panic("unexpected MSHR outcome for pending line");
+        }
+    }
+
+    // Structural checks first so a stalled access has no side effects.
+    if (mshrs_.inUse() >= mshrs_.capacity())
+        return L1Outcome::StallNoMshr;
+    if (!icnt_->canAcceptRequest(smId_))
+        return L1Outcome::StallQueue;
+
+    // Probe the victim structure before going downstream (Fig 7 flow).
+    VictimProbeResult probe;
+    if (victim_)
+        probe = victim_->probeVictim(access.lineAddr, now);
+
+    if (observer_)
+        observer_(access.lineAddr, access.pc, false, now);
+
+    if (probe.hit) {
+        // Data lives in the register file; a register-register move
+        // delivers it to the destination register. The line stays in the
+        // victim cache (it is not re-fetched into L1).
+        ++stats_->l1.regHits;
+        ++stats_->rfVictimAccesses;
+        victim_->notifyAccess(access.lineAddr, access.pc, access.hpc,
+                              access.warpSlot, true, now);
+        scheduleCompletion(access.accessId,
+                           now + cfg_.l1HitLatency + probe.latency);
+        return L1Outcome::VictimHit;
+    }
+
+    // A tag-only hit (monitoring mode) counts as a locality hit for the
+    // Load Monitor but the data must still come from L2/DRAM.
+    if (victim_)
+        victim_->notifyAccess(access.lineAddr, access.pc, access.hpc,
+                              access.warpSlot, probe.tagOnlyHit, now);
+
+    const bool allocate = !access.bypassL1;
+    if (mshrs_.registerMiss(access.lineAddr, access.accessId, allocate) !=
+        MshrOutcome::Allocated) {
+        panic("MSHR allocation failed after capacity check");
+    }
+
+    if (allocate) {
+        const bool was_cold = everFetched_.count(access.lineAddr) == 0;
+        pendingFills_[access.lineAddr] = {access.hpc, access.warpSlot,
+                                          was_cold};
+        ++stats_->l1.misses;
+        if (was_cold)
+            ++stats_->coldMisses;
+        else
+            ++stats_->capacityMisses;
+        everFetched_.insert(access.lineAddr);
+    } else {
+        ++stats_->l1.bypasses;
+    }
+
+    // The downstream fetch starts in parallel with the VTT search (a
+    // victim hit would have cancelled it); misses pay no probe latency.
+    MemRequest req;
+    req.lineAddr = access.lineAddr;
+    req.kind = RequestKind::DataRead;
+    req.smId = smId_;
+    req.issued = now;
+    icnt_->sendRequest(req, now);
+    return access.bypassL1 ? L1Outcome::Bypassed : L1Outcome::Miss;
+}
+
+L1Outcome
+L1Cache::handleStore(const L1Access &access, Cycle now)
+{
+    if (!icnt_->canAcceptRequest(smId_))
+        return L1Outcome::StallQueue;
+
+    if (observer_)
+        observer_(access.lineAddr, access.pc, true, now);
+
+    std::uint32_t bank_delay = 0;
+    if (bankArbiter_)
+        bank_delay = bankArbiter_->arbitrateLine(access.lineAddr, true,
+                                                 now);
+    (void)bank_delay; // Stores are fire-and-forget; delay is absorbed.
+
+    // Write-evict: a store hit invalidates the L1 copy so the line is
+    // never dirty; write-no-allocate: a store miss allocates nothing.
+    if (tags_.invalidate(access.lineAddr))
+        ++stats_->writeEvicts;
+    else
+        ++stats_->writeNoAllocates;
+
+    // The victim copy (if any) must be dropped as well so victim lines
+    // are never dirty (Section 4 store-handling policy).
+    if (victim_)
+        victim_->notifyStore(access.lineAddr, now);
+
+    MemRequest req;
+    req.lineAddr = access.lineAddr;
+    req.kind = RequestKind::DataWrite;
+    req.smId = smId_;
+    req.issued = now;
+    icnt_->sendRequest(req, now);
+    return L1Outcome::StoreDone;
+}
+
+void
+L1Cache::fill(Addr line_addr, Cycle now)
+{
+    std::vector<std::uint64_t> waiters;
+    const bool allocate = mshrs_.completeFill(line_addr, waiters);
+
+    if (allocate) {
+        auto fill_it = pendingFills_.find(line_addr);
+        const std::uint8_t hpc =
+            fill_it != pendingFills_.end() ? fill_it->second.hpc : 0;
+        const std::uint8_t owner =
+            fill_it != pendingFills_.end() ? fill_it->second.owner : 0;
+        if (fill_it != pendingFills_.end())
+            pendingFills_.erase(fill_it);
+
+        std::uint32_t bank_delay = 0;
+        if (bankArbiter_)
+            bank_delay = bankArbiter_->arbitrateLine(line_addr, true, now);
+        (void)bank_delay;
+
+        if (auto evicted = tags_.insert(line_addr, hpc, now, owner)) {
+            ++stats_->evictions;
+            if (victim_)
+                victim_->notifyEviction(evicted->lineAddr, evicted->hpc,
+                                        evicted->owner, now);
+        }
+    }
+
+    for (std::uint64_t access_id : waiters)
+        scheduleCompletion(access_id, now);
+}
+
+void
+L1Cache::drainCompleted(Cycle now, std::vector<std::uint64_t> &out)
+{
+    while (!completed_.empty() && completed_.front().first <= now) {
+        out.push_back(completed_.front().second);
+        completed_.pop_front();
+    }
+}
+
+void
+L1Cache::flush()
+{
+    tags_.invalidateAll();
+}
+
+} // namespace lbsim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Per-SM L1 data cache.
+ *
+ * Models the Table-1 L1 (default 48 KB, 8-way, 128 B lines, 64 MSHRs) with
+ * the baseline GPU write policies the paper assumes: write-evict on store
+ * hits and write-no-allocate on store misses. Optional hooks:
+ *
+ *  - a VictimCacheIf (Linebacker) probed on load misses and notified of
+ *    evictions, per-load outcomes, and stores;
+ *  - a BankArbiterIf (CERF) that charges every cache data access to the
+ *    register-file banks of the unified structure;
+ *  - extra ways (CERF / CacheExt) that extend the baseline capacity.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/mshr.hpp"
+#include "mem/request.hpp"
+#include "mem/tag_array.hpp"
+#include "mem/victim_if.hpp"
+
+namespace lbsim
+{
+
+class Interconnect;
+
+/** Arbitration hook for structures that share register-file banks. */
+class BankArbiterIf
+{
+  public:
+    virtual ~BankArbiterIf() = default;
+
+    /**
+     * Request one line-wide access to the bank holding @p line_addr.
+     * @return Extra cycles of delay caused by bank conflicts.
+     */
+    virtual std::uint32_t arbitrateLine(Addr line_addr, bool is_write,
+                                        Cycle now) = 0;
+};
+
+/** Outcome of an L1 access attempt. */
+enum class L1Outcome
+{
+    Hit,          ///< Tag hit; data after hit latency.
+    VictimHit,    ///< Data served from the register-file victim cache.
+    Miss,         ///< Sent downstream; completion via fill.
+    MergedMiss,   ///< Merged into an in-flight MSHR entry.
+    Bypassed,     ///< PCAL bypass; fetch downstream without allocation.
+    StoreDone,    ///< Store forwarded downstream (fire-and-forget).
+    StallNoMshr,  ///< All MSHRs busy; retry next cycle.
+    StallQueue,   ///< Downstream queue full; retry next cycle.
+};
+
+/** True for outcomes that consumed the access (no retry needed). */
+constexpr bool
+l1Accepted(L1Outcome outcome)
+{
+    return outcome != L1Outcome::StallNoMshr &&
+        outcome != L1Outcome::StallQueue;
+}
+
+/** One access presented by the LDST unit. */
+struct L1Access
+{
+    std::uint64_t accessId = 0;
+    Addr lineAddr = kNoAddr;
+    bool isWrite = false;
+    bool bypassL1 = false;      ///< PCAL: no allocation on fill.
+    Pc pc = 0;
+    std::uint8_t hpc = 0;
+    std::uint8_t warpSlot = 0;  ///< Issuing warp (CCWS attribution).
+};
+
+/** L1 data cache for one SM. */
+class L1Cache
+{
+  public:
+    /**
+     * @param cfg GPU configuration (geometry, latencies).
+     * @param sm_id Owning SM (used to route responses).
+     * @param icnt Interconnect toward the memory partitions.
+     * @param stats Run-wide counter bag.
+     * @param extra_ways Additional ways (CERF / CacheExt extensions).
+     */
+    L1Cache(const GpuConfig &cfg, std::uint32_t sm_id, Interconnect *icnt,
+            SimStats *stats, std::uint32_t extra_ways = 0);
+
+    /** Attach the victim-cache mechanism (may be null). */
+    void setVictimCache(VictimCacheIf *victim) { victim_ = victim; }
+
+    /** Attach the unified-bank arbiter (CERF; may be null). */
+    void setBankArbiter(BankArbiterIf *arbiter) { bankArbiter_ = arbiter; }
+
+    /** Access-stream observer (working-set/streaming characterization). */
+    using AccessObserver =
+        std::function<void(Addr line_addr, Pc pc, bool is_write,
+                           Cycle now)>;
+
+    /** Attach an observer called for every presented access. */
+    void setAccessObserver(AccessObserver observer)
+    {
+        observer_ = std::move(observer);
+    }
+
+    /**
+     * Attempt @p access at cycle @p now. Accepted loads complete either
+     * via drainCompleted() (hits, victim hits) or a later fill (misses).
+     */
+    L1Outcome access(const L1Access &access, Cycle now);
+
+    /** Deliver a fill (response) for @p line_addr from the partitions. */
+    void fill(Addr line_addr, Cycle now);
+
+    /** Pop access ids whose data became available by @p now. */
+    void drainCompleted(Cycle now, std::vector<std::uint64_t> &out);
+
+    /** Tag-array geometry actually in use (after extensions). */
+    const TagArray &tags() const { return tags_; }
+
+    /** Invalidate all lines (kernel boundary). */
+    void flush();
+
+  private:
+    /** Schedule completion of @p access_id at @p ready. */
+    void scheduleCompletion(std::uint64_t access_id, Cycle ready);
+
+    L1Outcome handleStore(const L1Access &access, Cycle now);
+    L1Outcome handleLoadMiss(const L1Access &access, Cycle now);
+
+    const GpuConfig &cfg_;
+    std::uint32_t smId_;
+    Interconnect *icnt_;
+    SimStats *stats_;
+    TagArray tags_;
+    MshrFile mshrs_;
+    VictimCacheIf *victim_ = nullptr;
+    BankArbiterIf *bankArbiter_ = nullptr;
+    AccessObserver observer_;
+
+    struct PendingFill
+    {
+        std::uint8_t hpc = 0;
+        std::uint8_t owner = 0;  ///< Warp slot of the allocating miss.
+        bool wasCold = false;  ///< Classification of the allocating miss.
+    };
+
+    /** Pending fills: line -> info recorded at miss time. */
+    std::unordered_map<Addr, PendingFill> pendingFills_;
+
+    /** Lines ever fetched by this SM; classifies cold vs capacity miss. */
+    std::unordered_set<Addr> everFetched_;
+
+    /** (ready cycle, access id) min-ordered completion queue. */
+    std::deque<std::pair<Cycle, std::uint64_t>> completed_;
+};
+
+} // namespace lbsim

@@ -1,0 +1,71 @@
+#include "mem/l2_cache.hpp"
+
+#include <algorithm>
+
+namespace lbsim
+{
+
+namespace
+{
+
+/** Geometry of one slice: total L2 capacity split across partitions. */
+CacheGeometry
+sliceGeometry(const GpuConfig &cfg)
+{
+    CacheGeometry geom = cfg.l2;
+    geom.sizeBytes = std::max<std::uint32_t>(
+        cfg.l2.sizeBytes / cfg.numMemPartitions,
+        geom.ways * geom.lineBytes);
+    return geom;
+}
+
+} // namespace
+
+L2Slice::L2Slice(const GpuConfig &cfg, std::uint32_t partition_id,
+                 SimStats *stats)
+    : stats_(stats), tags_(sliceGeometry(cfg)),
+      mshrs_(cfg.l1MshrEntries, cfg.l1MshrMergesPerEntry)
+{
+    (void)partition_id;
+}
+
+L2Outcome
+L2Slice::accessRead(Addr line_addr, std::uint64_t access_id, Cycle now)
+{
+    ++stats_->l2Accesses;
+    if (tags_.access(line_addr, 0, now)) {
+        ++stats_->l2Hits;
+        return L2Outcome::Hit;
+    }
+    switch (mshrs_.registerMiss(line_addr, access_id, true)) {
+      case MshrOutcome::Allocated:
+        return L2Outcome::Miss;
+      case MshrOutcome::Merged:
+        return L2Outcome::Merged;
+      case MshrOutcome::NoEntry:
+      case MshrOutcome::NoMergeSlot:
+        return L2Outcome::Stall;
+    }
+    return L2Outcome::Stall;
+}
+
+void
+L2Slice::accessWrite(Addr line_addr, Cycle now)
+{
+    ++stats_->l2Accesses;
+    // Write-through, no-allocate: refresh an existing copy only.
+    if (tags_.probe(line_addr)) {
+        tags_.access(line_addr, 0, now);
+        ++stats_->l2Hits;
+    }
+}
+
+void
+L2Slice::fill(Addr line_addr, Cycle now,
+              std::vector<std::uint64_t> &waiters_out)
+{
+    mshrs_.completeFill(line_addr, waiters_out);
+    tags_.insert(line_addr, 0, now);
+}
+
+} // namespace lbsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * One slice of the shared L2 cache.
+ *
+ * The 2048 KB, 8-way L2 (Table 1) is address-interleaved across the
+ * memory partitions; each partition owns one slice with its own MSHR file.
+ * The slice is modelled write-through/no-allocate for stores (GPU stores
+ * already skipped L1), which keeps victim and backup data paths simple
+ * while preserving read-traffic behaviour.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "mem/mshr.hpp"
+#include "mem/tag_array.hpp"
+
+namespace lbsim
+{
+
+/** Result of an L2 slice lookup. */
+enum class L2Outcome
+{
+    Hit,        ///< Data after the L2 latency.
+    Miss,       ///< Allocated an MSHR; fetch from DRAM.
+    Merged,     ///< Joined an in-flight DRAM fetch.
+    Stall,      ///< MSHRs exhausted; retry.
+};
+
+/** L2 cache slice owned by one memory partition. */
+class L2Slice
+{
+  public:
+    L2Slice(const GpuConfig &cfg, std::uint32_t partition_id,
+            SimStats *stats);
+
+    /**
+     * Look up @p line_addr for a read with bookkeeping token
+     * @p access_id (the partition's pending-read id).
+     */
+    L2Outcome accessRead(Addr line_addr, std::uint64_t access_id,
+                         Cycle now);
+
+    /** Store write-through: update recency on hit, never allocate. */
+    void accessWrite(Addr line_addr, Cycle now);
+
+    /**
+     * Complete a DRAM fill; inserts the line and returns waiting ids.
+     */
+    void fill(Addr line_addr, Cycle now,
+              std::vector<std::uint64_t> &waiters_out);
+
+    const TagArray &tags() const { return tags_; }
+
+  private:
+    SimStats *stats_;
+    TagArray tags_;
+    MshrFile mshrs_;
+};
+
+} // namespace lbsim

@@ -1,0 +1,109 @@
+#include "mem/memory_partition.hpp"
+
+#include "common/log.hpp"
+#include "mem/interconnect.hpp"
+
+namespace lbsim
+{
+
+MemoryPartition::MemoryPartition(const GpuConfig &cfg,
+                                 std::uint32_t partition_id,
+                                 Interconnect *icnt, SimStats *stats)
+    : cfg_(cfg), id_(partition_id), icnt_(icnt), stats_(stats),
+      l2_(cfg, partition_id, stats), dram_(cfg, partition_id, stats)
+{
+}
+
+void
+MemoryPartition::respond(const PendingRead &read, Cycle ready)
+{
+    MemResponse resp;
+    resp.lineAddr = read.lineAddr;
+    resp.kind = read.kind;
+    resp.smId = read.smId;
+    resp.ready = ready;
+    icnt_->sendResponse(resp, ready);
+}
+
+bool
+MemoryPartition::deliver(const MemRequest &req, Cycle now)
+{
+    // Conservative backpressure: any request may need the DRAM queue.
+    if (!dram_.canAccept())
+        return false;
+
+    switch (req.kind) {
+      case RequestKind::DataRead: {
+        const std::uint64_t id = nextReadId_++;
+        pendingReads_[id] = {req.lineAddr, req.smId, req.kind};
+        switch (l2_.accessRead(req.lineAddr, id, now)) {
+          case L2Outcome::Hit: {
+            const auto it = pendingReads_.find(id);
+            respond(it->second, now + cfg_.l2Latency);
+            pendingReads_.erase(it);
+            return true;
+          }
+          case L2Outcome::Miss:
+            // The L2 lookup precedes the DRAM fetch.
+            dram_.enqueue({req.lineAddr, false, req.kind, req.smId, now},
+                          now, now + cfg_.l2Latency);
+            return true;
+          case L2Outcome::Merged:
+            return true;
+          case L2Outcome::Stall:
+            pendingReads_.erase(id);
+            return false;
+        }
+        return false;
+      }
+      case RequestKind::DataWrite:
+        l2_.accessWrite(req.lineAddr, now);
+        dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now);
+        return true;
+      case RequestKind::RegBackup:
+        dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now);
+        return true;
+      case RequestKind::RegRestore: {
+        const std::uint64_t id = nextReadId_++;
+        (void)id;
+        dram_.enqueue({req.lineAddr, false, req.kind, req.smId, now}, now);
+        return true;
+      }
+    }
+    return false;
+}
+
+void
+MemoryPartition::tick(Cycle now)
+{
+    dram_.tick(now);
+
+    std::vector<DramCompletion> done;
+    dram_.drainCompleted(now, done);
+    for (const DramCompletion &completion : done) {
+        const DramCommand &cmd = completion.cmd;
+        switch (cmd.kind) {
+          case RequestKind::DataRead: {
+            std::vector<std::uint64_t> waiters;
+            l2_.fill(cmd.lineAddr, completion.done, waiters);
+            for (std::uint64_t id : waiters) {
+                auto it = pendingReads_.find(id);
+                if (it == pendingReads_.end())
+                    panic("L2 fill waiter %llu has no pending read",
+                          static_cast<unsigned long long>(id));
+                respond(it->second, completion.done);
+                pendingReads_.erase(it);
+            }
+            break;
+          }
+          case RequestKind::RegRestore:
+            respond({cmd.lineAddr, cmd.smId, cmd.kind}, completion.done);
+            break;
+          case RequestKind::DataWrite:
+          case RequestKind::RegBackup:
+            break; // Writes complete silently.
+        }
+    }
+}
+
+} // namespace lbsim

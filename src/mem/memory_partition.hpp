@@ -1,0 +1,69 @@
+/**
+ * @file
+ * One memory partition: an L2 slice plus its DRAM channel.
+ *
+ * Requests arrive from the interconnect; read hits answer after the L2
+ * latency, misses go to DRAM and answer when the fill returns. Register
+ * backup/restore traffic (Linebacker) bypasses the L2 slice and works
+ * directly against the DRAM channel, consuming real bandwidth (Fig 17
+ * overhead accounting).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "mem/dram.hpp"
+#include "mem/l2_cache.hpp"
+#include "mem/request.hpp"
+
+namespace lbsim
+{
+
+class Interconnect;
+
+/** L2 slice + DRAM channel behind one interconnect port. */
+class MemoryPartition
+{
+  public:
+    MemoryPartition(const GpuConfig &cfg, std::uint32_t partition_id,
+                    Interconnect *icnt, SimStats *stats);
+
+    /**
+     * Accept @p req from the interconnect.
+     * @return false if the partition is full (request stays queued).
+     */
+    bool deliver(const MemRequest &req, Cycle now);
+
+    /** Advance DRAM and emit finished responses. */
+    void tick(Cycle now);
+
+    const L2Slice &l2() const { return l2_; }
+    const DramChannel &dram() const { return dram_; }
+
+  private:
+    /** A read waiting for data (either L2 latency or a DRAM fill). */
+    struct PendingRead
+    {
+        Addr lineAddr;
+        std::uint32_t smId;
+        RequestKind kind;
+    };
+
+    void respond(const PendingRead &read, Cycle ready);
+
+    const GpuConfig &cfg_;
+    std::uint32_t id_;
+    Interconnect *icnt_;
+    SimStats *stats_;
+    L2Slice l2_;
+    DramChannel dram_;
+    std::uint64_t nextReadId_ = 1;
+    std::unordered_map<std::uint64_t, PendingRead> pendingReads_;
+};
+
+} // namespace lbsim

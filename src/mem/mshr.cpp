@@ -1,0 +1,58 @@
+#include "mem/mshr.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+MshrFile::MshrFile(std::uint32_t entries, std::uint32_t merges_per_entry)
+    : maxEntries_(entries), maxMerges_(merges_per_entry)
+{
+    if (entries == 0 || merges_per_entry == 0)
+        panic("MshrFile requires nonzero capacity");
+}
+
+MshrOutcome
+MshrFile::registerMiss(Addr line_addr, std::uint64_t access_id,
+                       bool allocate_on_fill)
+{
+    auto it = entries_.find(line_addr);
+    if (it != entries_.end()) {
+        Entry &entry = it->second;
+        if (entry.waiters.size() >= maxMerges_)
+            return MshrOutcome::NoMergeSlot;
+        entry.waiters.push_back(access_id);
+        entry.allocateOnFill |= allocate_on_fill;
+        return MshrOutcome::Merged;
+    }
+    if (entries_.size() >= maxEntries_)
+        return MshrOutcome::NoEntry;
+    Entry entry;
+    entry.waiters.push_back(access_id);
+    entry.allocateOnFill = allocate_on_fill;
+    entries_.emplace(line_addr, std::move(entry));
+    return MshrOutcome::Allocated;
+}
+
+bool
+MshrFile::pending(Addr line_addr) const
+{
+    return entries_.count(line_addr) != 0;
+}
+
+bool
+MshrFile::completeFill(Addr line_addr,
+                       std::vector<std::uint64_t> &waiters_out)
+{
+    auto it = entries_.find(line_addr);
+    if (it == entries_.end())
+        panic("MSHR fill for line %llu with no pending entry",
+              static_cast<unsigned long long>(line_addr));
+    const bool allocate = it->second.allocateOnFill;
+    waiters_out.insert(waiters_out.end(), it->second.waiters.begin(),
+                       it->second.waiters.end());
+    entries_.erase(it);
+    return allocate;
+}
+
+} // namespace lbsim

@@ -1,0 +1,133 @@
+#include "mem/tag_array.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+TagArray::TagArray(std::uint32_t sets, std::uint32_t ways)
+    : sets_(sets), ways_(ways), lines_(sets * ways)
+{
+    if (sets == 0 || ways == 0)
+        panic("TagArray requires nonzero geometry (%u sets, %u ways)",
+              sets, ways);
+}
+
+TagLine *
+TagArray::find(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    TagLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const TagLine *
+TagArray::find(Addr line_addr) const
+{
+    return const_cast<TagArray *>(this)->find(line_addr);
+}
+
+bool
+TagArray::access(Addr line_addr, std::uint8_t hpc, Cycle now,
+                 std::uint8_t owner)
+{
+    if (TagLine *line = find(line_addr)) {
+        line->lastUse = now;
+        line->hpc = hpc;
+        line->owner = owner;
+        return true;
+    }
+    return false;
+}
+
+bool
+TagArray::probe(Addr line_addr) const
+{
+    return find(line_addr) != nullptr;
+}
+
+std::optional<std::uint8_t>
+TagArray::lineHpc(Addr line_addr) const
+{
+    if (const TagLine *line = find(line_addr))
+        return line->hpc;
+    return std::nullopt;
+}
+
+std::optional<Eviction>
+TagArray::insert(Addr line_addr, std::uint8_t hpc, Cycle now,
+                 std::uint8_t owner)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    TagLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
+
+    // Refill of a resident line just refreshes it.
+    if (TagLine *line = find(line_addr)) {
+        line->lastUse = now;
+        line->fillTime = now;
+        line->hpc = hpc;
+        line->owner = owner;
+        return std::nullopt;
+    }
+
+    TagLine *slot = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+    }
+
+    std::optional<Eviction> evicted;
+    if (!slot) {
+        slot = base;
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            if (base[w].lastUse < slot->lastUse)
+                slot = &base[w];
+        }
+        evicted = Eviction{slot->lineAddr, slot->hpc, slot->owner};
+    }
+
+    slot->valid = true;
+    slot->lineAddr = line_addr;
+    slot->hpc = hpc;
+    slot->owner = owner;
+    slot->lastUse = now;
+    slot->fillTime = now;
+    return evicted;
+}
+
+bool
+TagArray::invalidate(Addr line_addr)
+{
+    if (TagLine *line = find(line_addr)) {
+        line->valid = false;
+        line->lineAddr = kNoAddr;
+        return true;
+    }
+    return false;
+}
+
+void
+TagArray::invalidateAll()
+{
+    for (auto &line : lines_) {
+        line.valid = false;
+        line.lineAddr = kNoAddr;
+    }
+}
+
+std::uint32_t
+TagArray::validLines() const
+{
+    std::uint32_t count = 0;
+    for (const auto &line : lines_)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+} // namespace lbsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative tag array with LRU replacement.
+ *
+ * Used by the L1 data cache, the L2 slices, and (with a different
+ * geometry) the Victim Tag Table partitions. Each line carries the 5-bit
+ * hashed PC of the load that last touched it, which Linebacker uses to
+ * decide whether an evicted line belongs to a selected high-locality load
+ * (Fig 7 "HPC" field).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace lbsim
+{
+
+/** One tag-array line. */
+struct TagLine
+{
+    bool valid = false;
+    Addr lineAddr = kNoAddr;
+    std::uint8_t hpc = 0;       ///< Hashed PC of the last touching load.
+    std::uint8_t owner = 0;     ///< Warp slot that last touched the line.
+    Cycle lastUse = 0;          ///< LRU timestamp.
+    Cycle fillTime = 0;         ///< When the line was (last) filled.
+};
+
+/** Details of a line displaced by an insertion. */
+struct Eviction
+{
+    Addr lineAddr = kNoAddr;
+    std::uint8_t hpc = 0;
+    std::uint8_t owner = 0;     ///< Warp slot that last touched the line.
+};
+
+/**
+ * A set-associative, LRU tag array.
+ *
+ * The array supports a dynamic way count per set (CERF/CacheExt extend the
+ * baseline L1 by whole ways) chosen at construction.
+ */
+class TagArray
+{
+  public:
+    /**
+     * @param sets Number of sets (power of two not required).
+     * @param ways Associativity.
+     */
+    TagArray(std::uint32_t sets, std::uint32_t ways);
+
+    /** Build from a cache geometry. */
+    explicit TagArray(const CacheGeometry &geom)
+        : TagArray(geom.sets(), geom.ways)
+    {}
+
+    /** Set index for @p line_addr. */
+    std::uint32_t
+    setIndex(Addr line_addr) const
+    {
+        return static_cast<std::uint32_t>(lineIndex(line_addr) % sets_);
+    }
+
+    /**
+     * Look up @p line_addr; on hit updates LRU state and the line HPC.
+     * @return true on hit.
+     */
+    bool access(Addr line_addr, std::uint8_t hpc, Cycle now,
+                std::uint8_t owner = 0);
+
+    /** Look up without changing any state. */
+    bool probe(Addr line_addr) const;
+
+    /** HPC field of a resident line (probe-only). */
+    std::optional<std::uint8_t> lineHpc(Addr line_addr) const;
+
+    /**
+     * Insert @p line_addr, evicting the set's LRU line if the set is
+     * full.
+     * @return The displaced valid line, if any.
+     */
+    std::optional<Eviction> insert(Addr line_addr, std::uint8_t hpc,
+                                   Cycle now, std::uint8_t owner = 0);
+
+    /**
+     * Invalidate @p line_addr if resident.
+     * @return true if a line was invalidated.
+     */
+    bool invalidate(Addr line_addr);
+
+    /** Invalidate every line. */
+    void invalidateAll();
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+
+    /** Number of currently valid lines. */
+    std::uint32_t validLines() const;
+
+  private:
+    TagLine *find(Addr line_addr);
+    const TagLine *find(Addr line_addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<TagLine> lines_;    ///< sets_ x ways_, row-major.
+};
+
+} // namespace lbsim

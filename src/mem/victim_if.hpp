@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Interface through which the L1 cache talks to an (optional) victim-cache
+ * mechanism.
+ *
+ * Linebacker implements this interface in src/lb; keeping the interface in
+ * src/mem lets the cache model stay ignorant of Linebacker internals. The
+ * L1 calls probe() on every load miss, notifyEviction() whenever a valid
+ * line leaves the tag array, notifyAccess() on every load (for per-load
+ * locality monitoring), and notifyStore() so victim lines can be
+ * invalidated under the write-evict policy.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace lbsim
+{
+
+/** Result of probing the victim structure on an L1 miss. */
+struct VictimProbeResult
+{
+    bool hit = false;           ///< Data available from the register file.
+    bool tagOnlyHit = false;    ///< Tag matched during monitoring (no data).
+    std::uint32_t latency = 0;  ///< Sequential VTT partition search cycles.
+    RegNum regNum = 0;          ///< Register holding the line when hit.
+};
+
+/** Victim-cache hook interface implemented by Linebacker. */
+class VictimCacheIf
+{
+  public:
+    virtual ~VictimCacheIf() = default;
+
+    /**
+     * Probe the victim tags for @p line_addr after an L1 load miss.
+     * Called before the miss is sent downstream; a data hit cancels the
+     * downstream fetch.
+     */
+    virtual VictimProbeResult probeVictim(Addr line_addr, Cycle now) = 0;
+
+    /**
+     * A valid L1 line was evicted. @p hpc is the hashed PC of the load
+     * that last touched the line (the per-line HPC field of Fig 7);
+     * @p owner_warp is the warp slot that last touched it (used by
+     * warp-centric schemes such as CCWS).
+     */
+    virtual void notifyEviction(Addr line_addr, std::uint8_t hpc,
+                                std::uint8_t owner_warp, Cycle now) = 0;
+
+    /**
+     * A load executed and its L1 outcome is known. @p hit covers both L1
+     * hits and victim data hits so the Load Monitor counts them together.
+     * @p warp_slot identifies the issuing warp.
+     */
+    virtual void notifyAccess(Addr line_addr, Pc pc, std::uint8_t hpc,
+                              std::uint8_t warp_slot, bool hit,
+                              Cycle now) = 0;
+
+    /** A store touched @p line_addr; any victim copy must be dropped. */
+    virtual void notifyStore(Addr line_addr, Cycle now) = 0;
+};
+
+} // namespace lbsim

@@ -1,0 +1,48 @@
+#include "power/energy_model.hpp"
+
+namespace lbsim
+{
+
+namespace
+{
+constexpr double kPjToJ = 1.0e-12;
+} // namespace
+
+EnergyBreakdown
+EnergyModel::compute(const SimStats &stats, const GpuConfig &cfg,
+                     bool lb_active) const
+{
+    EnergyBreakdown e;
+
+    e.core = stats.instructionsIssued * params_.instructionPj * kPjToJ;
+    e.registerFile = stats.rfAccesses * params_.rfAccessPj * kPjToJ;
+
+    const std::uint64_t l1_accesses =
+        stats.l1.total() + stats.evictions + stats.writeEvicts +
+        stats.writeNoAllocates;
+    e.l1 = l1_accesses * params_.l1AccessPj * kPjToJ;
+    e.l2 = stats.l2Accesses * params_.l2AccessPj * kPjToJ;
+    e.dram = stats.dramLineTransfers() * params_.dramLinePj * kPjToJ;
+
+    if (lb_active) {
+        // Every load consults the LM and the HPC field; VTT probes are
+        // counted directly.
+        const std::uint64_t loads =
+            stats.l1.l1Hits + stats.l1.regHits + stats.l1.misses;
+        e.lbStructures =
+            (loads * (params_.loadMonitorAccessPj + params_.hpcAccessPj) +
+             stats.vttProbes * params_.vttAccessPj +
+             (stats.ctaThrottleEvents + stats.ctaActivateEvents) *
+                 params_.ctaManagerAccessPj) *
+            kPjToJ;
+    }
+
+    const double seconds =
+        static_cast<double>(stats.cycles) / (cfg.clockGhz * 1.0e9);
+    e.staticEnergy =
+        (params_.smStaticWatts * cfg.numSms + params_.uncoreStaticWatts) *
+        seconds;
+    return e;
+}
+
+} // namespace lbsim

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Event-based GPU energy model.
+ *
+ * Follows the methodology of the paper's evaluation: dynamic energy is
+ * charged per microarchitectural event (instruction execution, register
+ * file access, cache access, DRAM line transfer) and static energy per
+ * cycle. Linebacker's added structures use the per-access energies the
+ * paper reports from CACTI (Table 3): CTA manager 1.94 pJ, HPC field
+ * 0.09 pJ, Load Monitor 0.32 pJ, VTT 2.05 pJ. The remaining constants
+ * are GPUWattch-flavoured per-event figures; Figure 18's result is
+ * dominated by execution-time (static energy) and DRAM-traffic
+ * reductions, which the counters capture directly.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+
+namespace lbsim
+{
+
+/** Per-event and static energy constants (picojoules / watts). */
+struct EnergyParams
+{
+    // Table 3 (CACTI) — Linebacker structures.
+    double ctaManagerAccessPj = 1.94;
+    double hpcAccessPj = 0.09;
+    double loadMonitorAccessPj = 0.32;
+    double vttAccessPj = 2.05;
+
+    // GPUWattch-flavoured per-event dynamic energies.
+    double instructionPj = 20.0;       ///< Execute one warp instruction.
+    double rfAccessPj = 12.0;          ///< One 128 B register access.
+    double l1AccessPj = 40.0;          ///< One L1 tag+data access.
+    double l2AccessPj = 120.0;         ///< One L2 slice access.
+    double dramLinePj = 2600.0;        ///< One 128 B off-chip transfer.
+
+    // Static (leakage + constant) power per SM and for the rest of chip.
+    double smStaticWatts = 1.8;
+    double uncoreStaticWatts = 12.0;
+};
+
+/** Energy breakdown of one run, in joules. */
+struct EnergyBreakdown
+{
+    double core = 0;        ///< Instruction execution.
+    double registerFile = 0;
+    double l1 = 0;
+    double l2 = 0;
+    double dram = 0;
+    double lbStructures = 0; ///< LM + VTT + CTA manager + HPC fields.
+    double staticEnergy = 0;
+
+    double
+    total() const
+    {
+        return core + registerFile + l1 + l2 + dram + lbStructures +
+            staticEnergy;
+    }
+};
+
+/** Computes run energy from counters. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(EnergyParams params = {}) : params_(params) {}
+
+    /**
+     * Energy for @p stats under @p cfg.
+     * @param lb_active Charge Linebacker structure accesses.
+     */
+    EnergyBreakdown compute(const SimStats &stats, const GpuConfig &cfg,
+                            bool lb_active) const;
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+};
+
+} // namespace lbsim

@@ -1,0 +1,104 @@
+#include "workload/app_profile.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace lbsim
+{
+
+KernelInfo
+AppProfile::buildKernel(const GpuConfig &cfg) const
+{
+    KernelInfo kernel;
+    kernel.name = id;
+    kernel.warpsPerCta = warpsPerCta;
+    kernel.regsPerWarp = regsPerWarp;
+    kernel.sharedMemPerCta = sharedMemPerCta;
+    kernel.iterations = iterations;
+    kernel.numCtas = ctasPerSmOfGrid * cfg.numSms;
+
+    Pc pc = 0;
+    auto add_inst = [&kernel, &pc](StaticInst inst) {
+        inst.pc = pc;
+        pc += 4;
+        kernel.body.push_back(inst);
+    };
+
+    // Build one pattern per load; region bases stay disjoint.
+    for (std::size_t i = 0; i < loads.size(); ++i) {
+        const LoadSpec &spec = loads[i];
+        const Addr base = static_cast<Addr>(i + 1) << 38;
+        switch (spec.cls) {
+          case LoadClass::Reuse:
+            kernel.patterns.push_back(std::make_shared<TiledReusePattern>(
+                base, static_cast<std::uint32_t>(spec.lines), spec.scope,
+                warpsPerCta));
+            break;
+          case LoadClass::Streaming:
+            kernel.patterns.push_back(std::make_shared<StreamingPattern>(
+                base, warpsPerCta,
+                static_cast<std::uint32_t>(spec.lines), spec.everyN));
+            break;
+          case LoadClass::Irregular:
+            kernel.patterns.push_back(std::make_shared<IrregularPattern>(
+                base, spec.lines, spec.fanout, spec.hotLines,
+                spec.hotProbability, hashCombine(seed, i)));
+            break;
+        }
+    }
+
+    // Streaming store pattern (if any) goes last.
+    std::uint32_t store_pattern = 0;
+    if (hasStore) {
+        store_pattern =
+            static_cast<std::uint32_t>(kernel.patterns.size());
+        kernel.patterns.push_back(std::make_shared<StreamingPattern>(
+            static_cast<Addr>(loads.size() + 1) << 38, warpsPerCta, 1,
+            storeEveryN));
+    }
+
+    // Emit the body. With loadsBackToBack all loads issue first (memory-
+    // level parallelism), then a use consumes them; otherwise each load
+    // is immediately consumed.
+    auto emit_alu_burst = [&](std::uint32_t count, bool first_depends) {
+        for (std::uint32_t a = 0; a < count; ++a) {
+            StaticInst alu;
+            alu.op = Opcode::Alu;
+            alu.dependsOnLoads = first_depends && a == 0;
+            alu.stallCycles = (a == 0) ? 4 : 1;
+            add_inst(alu);
+        }
+    };
+
+    if (loadsBackToBack) {
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            StaticInst load;
+            load.op = Opcode::Load;
+            load.patternId = static_cast<std::uint32_t>(i);
+            add_inst(load);
+        }
+        emit_alu_burst(aluPerLoad * std::max<std::size_t>(1,
+                                                          loads.size()),
+                       true);
+    } else {
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            StaticInst load;
+            load.op = Opcode::Load;
+            load.patternId = static_cast<std::uint32_t>(i);
+            add_inst(load);
+            emit_alu_burst(aluPerLoad, true);
+        }
+    }
+
+    if (hasStore) {
+        StaticInst store;
+        store.op = Opcode::Store;
+        store.patternId = store_pattern;
+        add_inst(store);
+    }
+
+    kernel.validate();
+    return kernel;
+}
+
+} // namespace lbsim

@@ -1,0 +1,115 @@
+#include "workload/pattern.hpp"
+
+namespace lbsim
+{
+
+TiledReusePattern::TiledReusePattern(Addr base, std::uint32_t lines,
+                                     TileScope scope,
+                                     std::uint32_t warps_per_cta)
+    : base_(base), lines_(lines == 0 ? 1 : lines), scope_(scope),
+      warpsPerCta_(warps_per_cta == 0 ? 1 : warps_per_cta)
+{
+}
+
+void
+TiledReusePattern::generate(const AccessContext &ctx,
+                            std::vector<Addr> &lines_out)
+{
+    // Tile instance selection: which copy of the tile this warp sweeps.
+    std::uint64_t instance = 0;
+    switch (scope_) {
+      case TileScope::PerWarp:
+        instance = static_cast<std::uint64_t>(ctx.globalCtaId) *
+            warpsPerCta_ + ctx.warpInCta;
+        break;
+      case TileScope::PerCta:
+        instance = ctx.globalCtaId;
+        break;
+      case TileScope::PerSm:
+        instance = ctx.smId;
+        break;
+      case TileScope::Global:
+        instance = 0;
+        break;
+    }
+
+    // Warps sharing a tile start at hashed phases so they touch disjoint
+    // parts of the set at any instant. Lockstep phases would collapse
+    // cross-warp reuse into MSHR merges on the same in-flight line;
+    // decorrelated phases produce the temporal reuse real kernels show.
+    std::uint64_t stagger = 0;
+    if (scope_ != TileScope::PerWarp) {
+        const std::uint64_t sharer =
+            static_cast<std::uint64_t>(ctx.globalCtaId) * warpsPerCta_ +
+            ctx.warpInCta;
+        stagger = hashCombine(sharer, base_) % lines_;
+    }
+    const std::uint64_t index = (ctx.iteration + stagger) % lines_;
+
+    lines_out.push_back(base_ +
+                        (instance * lines_ + index) * kLineBytes);
+}
+
+StreamingPattern::StreamingPattern(Addr base, std::uint32_t warps_per_cta,
+                                   std::uint32_t lines_per_iteration,
+                                   std::uint32_t every_n)
+    : base_(base), warpsPerCta_(warps_per_cta == 0 ? 1 : warps_per_cta),
+      linesPerIter_(lines_per_iteration == 0 ? 1 : lines_per_iteration),
+      everyN_(every_n == 0 ? 1 : every_n)
+{
+}
+
+void
+StreamingPattern::generate(const AccessContext &ctx,
+                           std::vector<Addr> &lines_out)
+{
+    // Each warp consumes a private monotonically advancing stream: every
+    // active iteration touches fresh lines, never to be revisited.
+    if (ctx.iteration % everyN_ != 0)
+        return;
+    const std::uint64_t stream =
+        static_cast<std::uint64_t>(ctx.globalCtaId) * warpsPerCta_ +
+        ctx.warpInCta;
+    const std::uint64_t first =
+        (stream << 24) +
+        static_cast<std::uint64_t>(ctx.iteration / everyN_) *
+            linesPerIter_;
+    for (std::uint32_t i = 0; i < linesPerIter_; ++i)
+        lines_out.push_back(base_ + (first + i) * kLineBytes);
+}
+
+IrregularPattern::IrregularPattern(Addr base,
+                                   std::uint64_t footprint_lines,
+                                   std::uint32_t fanout,
+                                   std::uint64_t hot_lines,
+                                   double hot_probability,
+                                   std::uint64_t seed)
+    : base_(base), footprintLines_(footprint_lines == 0 ? 1
+                                                        : footprint_lines),
+      fanout_(fanout == 0 ? 1 : fanout),
+      hotLines_(hot_lines), hotProbability_(hot_probability), seed_(seed)
+{
+}
+
+void
+IrregularPattern::generate(const AccessContext &ctx,
+                           std::vector<Addr> &lines_out)
+{
+    const std::uint64_t key = hashCombine(
+        seed_, hashCombine(ctx.globalCtaId,
+                           hashCombine(ctx.warpInCta, ctx.iteration)));
+    for (std::uint32_t i = 0; i < fanout_; ++i) {
+        const std::uint64_t draw = hashCombine(key, i);
+        const double unit =
+            static_cast<double>(draw >> 11) * 0x1.0p-53;
+        std::uint64_t line;
+        if (hotLines_ > 0 && unit < hotProbability_) {
+            line = hashCombine(draw, 0x517cc1b7) % hotLines_;
+        } else {
+            line = hashCombine(draw, 0x2545f491) % footprintLines_;
+        }
+        lines_out.push_back(base_ + line * kLineBytes);
+    }
+}
+
+} // namespace lbsim

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Address-pattern generators giving synthetic kernels their locality
+ * signatures.
+ *
+ * Every pattern is a pure function of (seed, cta, warp, iteration), so
+ * the generated address stream is identical across schemes regardless of
+ * how warps interleave — a requirement for fair relative-IPC comparison
+ * and for deterministic tests.
+ *
+ * Three families cover the behaviours the paper characterizes in
+ * Section 2.3:
+ *  - TiledReusePattern: a bounded working set swept cyclically, scoped
+ *    per warp / per CTA / per SM / globally (high-locality loads);
+ *  - StreamingPattern: monotonically advancing addresses, never reused
+ *    (the pollution Linebacker filters out);
+ *  - IrregularPattern: hashed accesses over a large footprint with an
+ *    optional hot subset and divergent fan-out (graph workloads).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "core/kernel.hpp"
+
+namespace lbsim
+{
+
+/** Sharing scope of a reuse tile. */
+enum class TileScope
+{
+    PerWarp,  ///< Each warp owns a private tile.
+    PerCta,   ///< Warps of a CTA share one tile.
+    PerSm,    ///< All CTAs on an SM share one tile.
+    Global,   ///< One tile for the whole grid.
+};
+
+/** Cyclically swept bounded working set. */
+class TiledReusePattern : public AddressPatternIf
+{
+  public:
+    /**
+     * @param base Region base address (disjoint per static load).
+     * @param lines Tile size in 128 B lines.
+     * @param scope Sharing scope.
+     * @param warps_per_cta Needed to stagger warps inside shared tiles.
+     */
+    TiledReusePattern(Addr base, std::uint32_t lines, TileScope scope,
+                      std::uint32_t warps_per_cta);
+
+    void generate(const AccessContext &ctx,
+                  std::vector<Addr> &lines_out) override;
+
+    std::uint32_t tileLines() const { return lines_; }
+    TileScope scope() const { return scope_; }
+
+  private:
+    Addr base_;
+    std::uint32_t lines_;
+    TileScope scope_;
+    std::uint32_t warpsPerCta_;
+};
+
+/** Monotonically advancing, never-reused stream. */
+class StreamingPattern : public AddressPatternIf
+{
+  public:
+    /**
+     * @param base Region base address.
+     * @param warps_per_cta Stream interleaving factor.
+     * @param lines_per_iteration Lines consumed per warp per active
+     *        iteration.
+     * @param every_n Touch the stream only every Nth iteration (real
+     *        kernels consume streaming inputs less often than they
+     *        revisit their reused tiles).
+     */
+    StreamingPattern(Addr base, std::uint32_t warps_per_cta,
+                     std::uint32_t lines_per_iteration = 1,
+                     std::uint32_t every_n = 1);
+
+    void generate(const AccessContext &ctx,
+                  std::vector<Addr> &lines_out) override;
+
+    std::uint32_t linesPerIteration() const { return linesPerIter_; }
+    std::uint32_t everyN() const { return everyN_; }
+
+  private:
+    Addr base_;
+    std::uint32_t warpsPerCta_;
+    std::uint32_t linesPerIter_;
+    std::uint32_t everyN_;
+};
+
+/** Hashed accesses over a large footprint with optional hot subset. */
+class IrregularPattern : public AddressPatternIf
+{
+  public:
+    /**
+     * @param base Region base address.
+     * @param footprint_lines Total lines reachable.
+     * @param fanout Divergent line accesses per warp instruction.
+     * @param hot_lines Size of the frequently revisited subset (0 = none).
+     * @param hot_probability Probability an access targets the hot set.
+     * @param seed Hash seed.
+     */
+    IrregularPattern(Addr base, std::uint64_t footprint_lines,
+                     std::uint32_t fanout, std::uint64_t hot_lines,
+                     double hot_probability, std::uint64_t seed);
+
+    void generate(const AccessContext &ctx,
+                  std::vector<Addr> &lines_out) override;
+
+    std::uint32_t fanout() const { return fanout_; }
+
+  private:
+    Addr base_;
+    std::uint64_t footprintLines_;
+    std::uint32_t fanout_;
+    std::uint64_t hotLines_;
+    double hotProbability_;
+    std::uint64_t seed_;
+};
+
+} // namespace lbsim

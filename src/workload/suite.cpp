@@ -1,0 +1,394 @@
+#include "workload/suite.hpp"
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+namespace
+{
+
+/** Shorthand constructors for load specs. */
+LoadSpec
+reuse(std::uint64_t lines, TileScope scope)
+{
+    LoadSpec s;
+    s.cls = LoadClass::Reuse;
+    s.lines = lines;
+    s.scope = scope;
+    return s;
+}
+
+LoadSpec
+stream(std::uint64_t lines_per_iter = 1, std::uint32_t every_n = 1)
+{
+    LoadSpec s;
+    s.cls = LoadClass::Streaming;
+    s.lines = lines_per_iter;
+    s.everyN = every_n;
+    return s;
+}
+
+LoadSpec
+irregular(std::uint64_t footprint, std::uint32_t fanout,
+          std::uint64_t hot_lines, double hot_probability)
+{
+    LoadSpec s;
+    s.cls = LoadClass::Irregular;
+    s.lines = footprint;
+    s.fanout = fanout;
+    s.hotLines = hot_lines;
+    s.hotProbability = hot_probability;
+    return s;
+}
+
+/*
+ * Calibration notes (48 KB L1 = 384 lines; victim partitions of 192
+ * lines carved from idle registers; 2048 warp registers per SM).
+ *
+ * The cache-sensitive profiles follow the paper's premise that capacity,
+ * not scheduling, is the binding constraint: per-CTA working sets exceed
+ * the L1 even at minimum occupancy, so warp throttling alone (Best-SWL)
+ * can only trade parallelism for partial hit-rate gains, while
+ * Linebacker's victim space (up to 1536 extra lines) actually fits the
+ * working set. Cache-insensitive profiles either fit in L1 outright,
+ * stream, or scatter over footprints no realistic cache holds.
+ */
+std::vector<AppProfile>
+buildSuite()
+{
+    std::vector<AppProfile> suite;
+    auto add = [&suite](AppProfile profile) {
+        suite.push_back(std::move(profile));
+    };
+
+    // ----- Cache-sensitive applications (Table 2a) ----------------------
+
+    {
+        AppProfile p;
+        p.id = "S2";
+        p.description = "Symmetric rank-2k operations (Polybench)";
+        p.cacheSensitive = true;
+        // 520 reuse lines per CTA: above L1 capacity even for one CTA.
+        p.loads = {reuse(320, TileScope::PerCta),
+                   reuse(320, TileScope::PerCta), stream(1, 4)};
+        p.aluPerLoad = 3;
+        p.hasStore = true;
+        p.warpsPerCta = 16;
+        p.regsPerWarp = 32;   // Register file fully occupied: DUR matters.
+        p.seed = 0x5201;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "GE";
+        p.description = "Scalar, vector and matrix multiplication "
+                        "(Polybench GEMM family)";
+        p.cacheSensitive = true;
+        p.loads = {reuse(192, TileScope::Global),
+                   reuse(384, TileScope::PerCta), stream(1, 4)};
+        p.aluPerLoad = 2;
+        p.hasStore = true;
+        p.warpsPerCta = 16;
+        p.regsPerWarp = 32;
+        p.seed = 0x4745;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "BI";
+        p.description = "BiCGStab linear solver (Polybench)";
+        p.cacheSensitive = true;
+        // Heavy streaming plus a reused vector block: the selective
+        // filter and the large static register space do the work.
+        p.loads = {reuse(112, TileScope::PerCta), stream(2, 2),
+                   stream(1, 3)};
+        p.aluPerLoad = 3;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 16;   // Large SUR: SVC works without throttling.
+        p.seed = 0x4249;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "KM";
+        p.description = "KMeans clustering (Rodinia)";
+        p.cacheSensitive = true;
+        // Global centroid block + per-CTA membership tile.
+        p.loads = {reuse(224, TileScope::Global),
+                   reuse(352, TileScope::PerCta), stream(1, 4)};
+        p.aluPerLoad = 2;
+        p.hasStore = true;
+        p.warpsPerCta = 16;
+        p.regsPerWarp = 32;
+        p.seed = 0x4b4d;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "AT";
+        p.description = "Matrix transpose-vector multiplication "
+                        "(Polybench ATAX)";
+        p.cacheSensitive = true;
+        p.loads = {reuse(8, TileScope::PerWarp),
+                   reuse(128, TileScope::Global), stream(1, 4)};
+        p.aluPerLoad = 3;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 12;   // Huge SUR: SVC app.
+        p.seed = 0x4154;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "BC";
+        p.description = "Breadth-first search (CUDA SDK)";
+        p.cacheSensitive = true;
+        // Hot frontier above L1 capacity; victim space absorbs it.
+        p.loads = {irregular(std::uint64_t{1} << 18, 2, 1152, 0.80),
+                   stream(1, 4)};
+        p.aluPerLoad = 3;
+        p.warpsPerCta = 16;
+        p.regsPerWarp = 32;
+        p.seed = 0x4243;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "S1";
+        p.description = "Symmetric rank-1k operations (Polybench)";
+        p.cacheSensitive = true;
+        p.loads = {reuse(200, TileScope::PerCta),
+                   reuse(200, TileScope::PerCta),
+                   reuse(256, TileScope::Global)};
+        p.aluPerLoad = 3;
+        p.hasStore = true;
+        p.warpsPerCta = 16;
+        p.regsPerWarp = 24;
+        p.seed = 0x5331;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "MV";
+        p.description = "Matrix-vector product transpose (Polybench)";
+        p.cacheSensitive = true;
+        p.loads = {reuse(256, TileScope::Global),
+                   reuse(224, TileScope::PerCta), stream(2, 3)};
+        p.aluPerLoad = 3;
+        p.hasStore = true;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 16;
+        p.seed = 0x4d56;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "CF";
+        p.description = "CFD Euler solver (Rodinia)";
+        p.cacheSensitive = true;
+        p.loads = {reuse(224, TileScope::PerCta),
+                   reuse(224, TileScope::PerCta),
+                   reuse(288, TileScope::Global), stream(1, 4)};
+        p.aluPerLoad = 4;
+        p.hasStore = true;
+        p.warpsPerCta = 16;
+        p.regsPerWarp = 30;
+        p.seed = 0x4346;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "PF";
+        p.description = "Particle filter, float (Rodinia)";
+        p.cacheSensitive = true;
+        p.loads = {reuse(384, TileScope::PerCta),
+                   reuse(224, TileScope::Global),
+                   irregular(std::uint64_t{1} << 16, 1, 256, 0.50)};
+        p.aluPerLoad = 5;
+        p.warpsPerCta = 16;
+        p.regsPerWarp = 28;
+        p.seed = 0x5046;
+        add(p);
+    }
+
+    // ----- Cache-insensitive applications (Table 2b) --------------------
+
+    {
+        AppProfile p;
+        p.id = "BG";
+        p.description = "Breadth-first search (GPGPU-Sim suite)";
+        p.cacheSensitive = false;
+        // Scattered over a 128 MB graph with a weak hot set: no cache
+        // of realistic size helps much.
+        p.loads = {irregular(std::uint64_t{1} << 20, 3, 96, 0.15),
+                   stream(1, 3)};
+        p.aluPerLoad = 4;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 32;
+        p.seed = 0x4247;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "LI";
+        p.description = "LIBOR Monte Carlo (GPGPU-Sim suite)";
+        p.cacheSensitive = false;
+        p.loads = {stream(2), reuse(32, TileScope::Global)};
+        p.aluPerLoad = 24;    // Compute bound.
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 40;
+        p.seed = 0x4c49;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "SR2";
+        p.description = "SRAD v2 speckle-reducing diffusion (Rodinia)";
+        p.cacheSensitive = false;
+        p.loads = {stream(2), reuse(4, TileScope::PerWarp)};
+        p.aluPerLoad = 8;
+        p.hasStore = true;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 16;
+        p.seed = 0x5332;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "SP";
+        p.description = "Sparse matrix-vector multiply (Parboil)";
+        p.cacheSensitive = false;
+        p.loads = {irregular(std::uint64_t{1} << 19, 2, 64, 0.12),
+                   stream(1, 3)};
+        p.aluPerLoad = 3;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 24;
+        p.seed = 0x5350;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "BR";
+        p.description = "Breadth-first search (Rodinia)";
+        p.cacheSensitive = false;
+        // A modest hot frontier: mild gains for capacity approaches.
+        p.loads = {irregular(std::uint64_t{1} << 17, 2, 512, 0.45),
+                   stream(1, 4)};
+        p.aluPerLoad = 4;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 32;
+        p.seed = 0x4252;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "FD";
+        p.description = "2-D finite-difference time domain (Polybench)";
+        p.cacheSensitive = false;
+        p.loads = {reuse(6, TileScope::PerWarp), stream(1, 2)};
+        p.aluPerLoad = 6;
+        p.hasStore = true;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 16;
+        p.seed = 0x4644;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "GA";
+        p.description = "Gaussian elimination (Rodinia)";
+        p.cacheSensitive = false;
+        p.loads = {reuse(96, TileScope::Global)};
+        p.aluPerLoad = 16;
+        p.hasStore = true;
+        p.storeEveryN = 6;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 16;
+        p.seed = 0x4741;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "SR1";
+        p.description = "SRAD v1 speckle-reducing diffusion (Rodinia)";
+        p.cacheSensitive = false;
+        p.loads = {reuse(160, TileScope::Global), stream(1, 3)};
+        p.aluPerLoad = 10;
+        p.hasStore = true;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 16;
+        p.seed = 0x5331aa;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "2D";
+        p.description = "2-D convolution (Polybench)";
+        p.cacheSensitive = false;
+        p.loads = {reuse(4, TileScope::PerWarp), stream(2)};
+        p.aluPerLoad = 5;
+        p.hasStore = true;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 12;
+        p.seed = 0x3244;
+        add(p);
+    }
+    {
+        AppProfile p;
+        p.id = "HS";
+        p.description = "HotSpot thermal simulation (Rodinia)";
+        p.cacheSensitive = false;
+        p.loads = {reuse(6, TileScope::PerWarp), stream(2, 2)};
+        p.aluPerLoad = 12;
+        p.hasStore = true;
+        p.warpsPerCta = 8;
+        p.regsPerWarp = 24;
+        p.seed = 0x4853;
+        add(p);
+    }
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+benchmarkSuite()
+{
+    static const std::vector<AppProfile> suite = buildSuite();
+    return suite;
+}
+
+std::vector<AppProfile>
+cacheSensitiveApps()
+{
+    std::vector<AppProfile> apps;
+    for (const AppProfile &app : benchmarkSuite()) {
+        if (app.cacheSensitive)
+            apps.push_back(app);
+    }
+    return apps;
+}
+
+std::vector<AppProfile>
+cacheInsensitiveApps()
+{
+    std::vector<AppProfile> apps;
+    for (const AppProfile &app : benchmarkSuite()) {
+        if (!app.cacheSensitive)
+            apps.push_back(app);
+    }
+    return apps;
+}
+
+const AppProfile &
+appById(const std::string &id)
+{
+    for (const AppProfile &app : benchmarkSuite()) {
+        if (app.id == id)
+            return app;
+    }
+    fatal("unknown application id '%s'", id.c_str());
+}
+
+} // namespace lbsim

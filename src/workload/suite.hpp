@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The benchmark suite of Table 2.
+ *
+ * Twenty behavioural profiles mirroring the paper's applications: ten
+ * cache-sensitive (S2 GE BI KM AT BC S1 MV CF PF) and ten
+ * cache-insensitive (BG LI SR2 SP BR FD GA SR1 2D HS). Parameters are
+ * chosen so the per-SM characterization matches Figures 2-4 qualitatively:
+ * reuse working sets of the top loads exceed the 48 KB L1 in most
+ * sensitive apps, streaming footprints exceed 16 KB in about half the
+ * suite, and register occupancy spans the paper's SUR/DUR range.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/app_profile.hpp"
+
+namespace lbsim
+{
+
+/** All 20 profiles in Table 2 order (sensitive first). */
+const std::vector<AppProfile> &benchmarkSuite();
+
+/** The cache-sensitive subset. */
+std::vector<AppProfile> cacheSensitiveApps();
+
+/** The cache-insensitive subset. */
+std::vector<AppProfile> cacheInsensitiveApps();
+
+/** Look up a profile by its Table 2 abbreviation. */
+const AppProfile &appById(const std::string &id);
+
+} // namespace lbsim

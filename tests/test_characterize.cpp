@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the per-load characterization used by the Fig 2/3 benches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/characterize.hpp"
+#include "workload/suite.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+AppProfile
+twoLoadApp()
+{
+    AppProfile app;
+    app.id = "CHAR";
+    app.description = "characterization probe";
+    LoadSpec tile;
+    tile.cls = LoadClass::Reuse;
+    tile.lines = 64;
+    tile.scope = TileScope::PerCta;
+    LoadSpec str;
+    str.cls = LoadClass::Streaming;
+    str.lines = 1;
+    app.loads = {tile, str};
+    app.aluPerLoad = 2;
+    app.warpsPerCta = 8;
+    app.regsPerWarp = 16;
+    return app;
+}
+
+TEST(Characterize, SeparatesReuseFromStreaming)
+{
+    const AppCharacter character = characterizeApp(twoLoadApp(), 30000);
+    ASSERT_EQ(character.loads.size(), 2u);
+    int streaming = 0;
+    int reused = 0;
+    for (const LoadCharacter &load : character.loads) {
+        if (load.isStreaming())
+            ++streaming;
+        else
+            ++reused;
+    }
+    EXPECT_EQ(streaming, 1);
+    EXPECT_EQ(reused, 1);
+}
+
+TEST(Characterize, ReusedWorkingSetBoundedByTiles)
+{
+    const AppCharacter character = characterizeApp(twoLoadApp(), 30000);
+    // Per-SM reused working set of the tile load: at most 8 resident
+    // CTAs x 64 lines x 128 B = 64 KB.
+    const double ws = character.topReusedWorkingSetBytes(4);
+    EXPECT_GT(ws, 0.0);
+    EXPECT_LE(ws, 64.0 * 1024);
+}
+
+TEST(Characterize, StreamingBytesGrowWithRate)
+{
+    AppProfile slow = twoLoadApp();
+    slow.loads[1].everyN = 8;
+    const double fast_bytes =
+        characterizeApp(twoLoadApp(), 30000).streamingBytes();
+    const double slow_bytes =
+        characterizeApp(slow, 30000).streamingBytes();
+    EXPECT_GT(fast_bytes, slow_bytes);
+}
+
+TEST(Characterize, LoadsSortedByAccessCount)
+{
+    const AppCharacter character = characterizeApp(twoLoadApp(), 30000);
+    for (std::size_t i = 1; i < character.loads.size(); ++i) {
+        EXPECT_GE(character.loads[i - 1].accesses,
+                  character.loads[i].accesses);
+    }
+}
+
+TEST(Characterize, SuiteAppsProduceSaneCharacters)
+{
+    // Spot-check two suite apps with opposite personalities.
+    const AppCharacter bi = characterizeApp(appById("BI"), 30000);
+    double bi_stream = bi.streamingBytes();
+    EXPECT_GT(bi_stream, 8.0 * 1024); // BI streams heavily.
+
+    const AppCharacter ga = characterizeApp(appById("GA"), 30000);
+    // GA's tiny global tile reuses: nearly no streaming load data.
+    EXPECT_LT(ga.streamingBytes(), bi_stream);
+}
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the event-based energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+TEST(EnergyModel, ZeroStatsZeroDynamicEnergy)
+{
+    EnergyModel model;
+    SimStats stats;
+    GpuConfig cfg;
+    const EnergyBreakdown e = model.compute(stats, cfg, false);
+    EXPECT_DOUBLE_EQ(e.core, 0.0);
+    EXPECT_DOUBLE_EQ(e.dram, 0.0);
+    EXPECT_DOUBLE_EQ(e.staticEnergy, 0.0);
+}
+
+TEST(EnergyModel, StaticEnergyScalesWithCycles)
+{
+    EnergyModel model;
+    SimStats stats;
+    GpuConfig cfg;
+    stats.cycles = 1000000;
+    const double e1 = model.compute(stats, cfg, false).staticEnergy;
+    stats.cycles = 2000000;
+    const double e2 = model.compute(stats, cfg, false).staticEnergy;
+    EXPECT_NEAR(e2, 2.0 * e1, 1e-12);
+    EXPECT_GT(e1, 0.0);
+}
+
+TEST(EnergyModel, DramEnergyPerLine)
+{
+    EnergyModel model;
+    SimStats stats;
+    GpuConfig cfg;
+    stats.dramReads = 1000;
+    const EnergyBreakdown e = model.compute(stats, cfg, false);
+    EXPECT_NEAR(e.dram, 1000 * model.params().dramLinePj * 1e-12,
+                1e-15);
+}
+
+TEST(EnergyModel, BackupTrafficChargedAsDram)
+{
+    EnergyModel model;
+    SimStats stats;
+    GpuConfig cfg;
+    stats.dramBackupWrites = 500;
+    stats.dramRestoreReads = 500;
+    const EnergyBreakdown e = model.compute(stats, cfg, false);
+    EXPECT_GT(e.dram, 0.0);
+}
+
+TEST(EnergyModel, LbStructuresOnlyWhenActive)
+{
+    EnergyModel model;
+    SimStats stats;
+    GpuConfig cfg;
+    stats.l1.l1Hits = 1000;
+    stats.vttProbes = 400;
+    EXPECT_DOUBLE_EQ(model.compute(stats, cfg, false).lbStructures, 0.0);
+    EXPECT_GT(model.compute(stats, cfg, true).lbStructures, 0.0);
+}
+
+TEST(EnergyModel, Table3ConstantsAreDefault)
+{
+    EnergyParams params;
+    EXPECT_DOUBLE_EQ(params.ctaManagerAccessPj, 1.94);
+    EXPECT_DOUBLE_EQ(params.hpcAccessPj, 0.09);
+    EXPECT_DOUBLE_EQ(params.loadMonitorAccessPj, 0.32);
+    EXPECT_DOUBLE_EQ(params.vttAccessPj, 2.05);
+}
+
+TEST(EnergyModel, TotalSumsComponents)
+{
+    EnergyModel model;
+    SimStats stats;
+    GpuConfig cfg;
+    stats.cycles = 1000;
+    stats.instructionsIssued = 5000;
+    stats.rfAccesses = 9000;
+    stats.l1.l1Hits = 700;
+    stats.l2Accesses = 300;
+    stats.dramReads = 100;
+    const EnergyBreakdown e = model.compute(stats, cfg, true);
+    EXPECT_NEAR(e.total(),
+                e.core + e.registerFile + e.l1 + e.l2 + e.dram +
+                    e.lbStructures + e.staticEnergy,
+                1e-18);
+    EXPECT_GT(e.total(), 0.0);
+}
+
+TEST(EnergyModel, FasterRunWithSameWorkUsesLessEnergy)
+{
+    // The Fig 18 effect: LB's speedup cuts static energy.
+    EnergyModel model;
+    GpuConfig cfg;
+    SimStats slow;
+    slow.cycles = 2000000;
+    slow.instructionsIssued = 1000000;
+    SimStats fast = slow;
+    fast.cycles = 1500000;
+    EXPECT_LT(model.compute(fast, cfg, true).total(),
+              model.compute(slow, cfg, false).total());
+}
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Unit tests for kernel descriptors and the hashed-PC helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/kernel.hpp"
+#include "core/ldst_unit.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+TEST(HashedPc, FitsInFiveBits)
+{
+    for (Pc pc = 0; pc < 4096; pc += 4)
+        EXPECT_LT(hashedPc(pc), 32u);
+}
+
+TEST(HashedPc, DistinguishesTypicalLoadPcs)
+{
+    // Kernels have few global loads at small PC strides; the fold must
+    // keep them distinct (the paper relies on <32 loads per kernel).
+    std::set<std::uint8_t> seen;
+    for (Pc pc = 0; pc < 32 * 4; pc += 4)
+        seen.insert(hashedPc(pc));
+    EXPECT_GE(seen.size(), 24u);
+}
+
+TEST(HashedPc, Deterministic)
+{
+    EXPECT_EQ(hashedPc(0x1234), hashedPc(0x1234));
+}
+
+TEST(KernelInfo, RegsPerCtaIsWarpsTimesRegs)
+{
+    KernelInfo kernel;
+    kernel.warpsPerCta = 8;
+    kernel.regsPerWarp = 32;
+    EXPECT_EQ(kernel.regsPerCta(), 256u);
+}
+
+TEST(KernelInfoDeath, ValidateRejectsEmptyBody)
+{
+    KernelInfo kernel;
+    kernel.name = "empty";
+    EXPECT_DEATH(kernel.validate(), "empty body");
+}
+
+TEST(KernelInfoDeath, ValidateRejectsMissingPattern)
+{
+    KernelInfo kernel;
+    kernel.name = "bad";
+    StaticInst load;
+    load.op = Opcode::Load;
+    load.patternId = 3; // No patterns registered.
+    kernel.body.push_back(load);
+    EXPECT_DEATH(kernel.validate(), "missing pattern");
+}
+
+TEST(KernelInfoDeath, ValidateRejectsZeroStall)
+{
+    KernelInfo kernel;
+    kernel.name = "bad";
+    StaticInst alu;
+    alu.stallCycles = 0;
+    kernel.body.push_back(alu);
+    EXPECT_DEATH(kernel.validate(), "zero stall");
+}
+
+} // namespace
+} // namespace lbsim

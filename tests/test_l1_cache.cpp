@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Unit tests for the L1 data cache: hit/miss paths, MSHR integration,
+ * write-evict/write-no-allocate policies, and victim-cache hooks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mem/interconnect.hpp"
+#include "mem/l1_cache.hpp"
+#include "mem/memory_partition.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+/** Records every victim-interface call for inspection. */
+class RecordingVictim : public VictimCacheIf
+{
+  public:
+    VictimProbeResult
+    probeVictim(Addr line_addr, Cycle now) override
+    {
+        (void)now;
+        ++probes;
+        VictimProbeResult result;
+        result.latency = 3;
+        if (line_addr == hitLine) {
+            result.hit = true;
+            result.regNum = 777;
+        } else if (line_addr == tagHitLine) {
+            result.tagOnlyHit = true;
+        }
+        return result;
+    }
+
+    void
+    notifyEviction(Addr line_addr, std::uint8_t hpc,
+                   std::uint8_t owner_warp, Cycle now) override
+    {
+        (void)now;
+        evictions.emplace_back(line_addr, hpc);
+        evictionOwners.push_back(owner_warp);
+    }
+
+    void
+    notifyAccess(Addr line_addr, Pc pc, std::uint8_t hpc,
+                 std::uint8_t warp_slot, bool hit, Cycle now) override
+    {
+        (void)line_addr;
+        (void)pc;
+        (void)hpc;
+        (void)warp_slot;
+        (void)now;
+        if (hit)
+            ++hits;
+        else
+            ++misses;
+    }
+
+    void
+    notifyStore(Addr line_addr, Cycle now) override
+    {
+        (void)now;
+        stores.push_back(line_addr);
+    }
+
+    Addr hitLine = kNoAddr;
+    Addr tagHitLine = kNoAddr;
+    int probes = 0;
+    int hits = 0;
+    int misses = 0;
+    std::vector<std::pair<Addr, std::uint8_t>> evictions;
+    std::vector<std::uint8_t> evictionOwners;
+    std::vector<Addr> stores;
+};
+
+/** A small, fully wired memory system around one L1. */
+class L1Fixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg.numSms = 1;
+        cfg.numMemPartitions = 1;
+        icnt = std::make_unique<Interconnect>(cfg, &stats);
+        partition =
+            std::make_unique<MemoryPartition>(cfg, 0, icnt.get(), &stats);
+        icnt->attachPartition(0, partition.get());
+        l1 = std::make_unique<L1Cache>(cfg, 0, icnt.get(), &stats);
+
+        class Sink : public ResponseSinkIf
+        {
+          public:
+            explicit Sink(L1Cache *l1) : l1_(l1) {}
+            void
+            onResponse(const MemResponse &response, Cycle now) override
+            {
+                l1_->fill(response.lineAddr, now);
+            }
+
+          private:
+            L1Cache *l1_;
+        };
+        sink = std::make_unique<Sink>(l1.get());
+        icnt->attachSm(0, sink.get());
+    }
+
+    /** Advance the whole mini-system one cycle. */
+    void
+    tick()
+    {
+        partition->tick(now);
+        icnt->tick(now);
+        ++now;
+    }
+
+    /** Run until the access completes or the limit hits. */
+    bool
+    completeAccess(std::uint64_t access_id, Cycle limit = 5000)
+    {
+        std::vector<std::uint64_t> done;
+        for (Cycle c = 0; c < limit; ++c) {
+            tick();
+            done.clear();
+            l1->drainCompleted(now, done);
+            for (std::uint64_t id : done) {
+                if (id == access_id)
+                    return true;
+            }
+        }
+        return false;
+    }
+
+    L1Access
+    load(std::uint64_t id, Addr line, Pc pc = 0)
+    {
+        L1Access access;
+        access.accessId = id;
+        access.lineAddr = line;
+        access.pc = pc;
+        access.hpc = static_cast<std::uint8_t>(pc & 0x1f);
+        return access;
+    }
+
+    GpuConfig cfg;
+    SimStats stats;
+    std::unique_ptr<Interconnect> icnt;
+    std::unique_ptr<MemoryPartition> partition;
+    std::unique_ptr<L1Cache> l1;
+    std::unique_ptr<ResponseSinkIf> sink;
+    Cycle now = 0;
+};
+
+TEST_F(L1Fixture, ColdMissFillsAndThenHits)
+{
+    EXPECT_EQ(l1->access(load(1, 0), now), L1Outcome::Miss);
+    EXPECT_TRUE(completeAccess(1));
+    EXPECT_EQ(stats.coldMisses, 1u);
+    EXPECT_EQ(l1->access(load(2, 0), now), L1Outcome::Hit);
+    EXPECT_TRUE(completeAccess(2));
+    EXPECT_EQ(stats.l1.l1Hits, 1u);
+}
+
+TEST_F(L1Fixture, HitLatencyMatchesConfig)
+{
+    l1->access(load(1, 0), now);
+    completeAccess(1);
+    const Cycle start = now;
+    l1->access(load(2, 0), now);
+    ASSERT_TRUE(completeAccess(2));
+    // drainCompleted pops at the first tick where ready <= now.
+    EXPECT_NEAR(static_cast<double>(now - start),
+                static_cast<double>(cfg.l1HitLatency), 2.0);
+}
+
+TEST_F(L1Fixture, ConcurrentMissesToSameLineMerge)
+{
+    EXPECT_EQ(l1->access(load(1, 0), now), L1Outcome::Miss);
+    EXPECT_EQ(l1->access(load(2, 0), now), L1Outcome::MergedMiss);
+    // Both complete on the same fill.
+    std::vector<std::uint64_t> done;
+    for (Cycle c = 0; c < 5000 && done.size() < 2; ++c) {
+        tick();
+        l1->drainCompleted(now, done);
+    }
+    ASSERT_EQ(done.size(), 2u);
+    // One DRAM fetch served both.
+    EXPECT_EQ(stats.dramReads, 1u);
+}
+
+TEST_F(L1Fixture, CapacityMissClassification)
+{
+    // Fill one set beyond its ways using same-set lines.
+    const std::uint32_t sets = cfg.l1.sets();
+    std::uint64_t id = 1;
+    for (std::uint32_t w = 0; w <= cfg.l1.ways; ++w) {
+        const Addr line = static_cast<Addr>(w) * sets * kLineBytes;
+        ASSERT_EQ(l1->access(load(id, line), now), L1Outcome::Miss);
+        ASSERT_TRUE(completeAccess(id));
+        ++id;
+    }
+    // Line 0 was evicted; re-access is a capacity miss.
+    EXPECT_EQ(l1->access(load(id, 0), now), L1Outcome::Miss);
+    EXPECT_TRUE(completeAccess(id));
+    EXPECT_EQ(stats.capacityMisses, 1u);
+}
+
+TEST_F(L1Fixture, StoreHitInvalidatesLine)
+{
+    l1->access(load(1, 0), now);
+    completeAccess(1);
+    L1Access store = load(2, 0);
+    store.isWrite = true;
+    EXPECT_EQ(l1->access(store, now), L1Outcome::StoreDone);
+    EXPECT_EQ(stats.writeEvicts, 1u);
+    // The line is gone: next load misses.
+    EXPECT_EQ(l1->access(load(3, 0), now), L1Outcome::Miss);
+}
+
+TEST_F(L1Fixture, StoreMissDoesNotAllocate)
+{
+    L1Access store = load(1, 0);
+    store.isWrite = true;
+    EXPECT_EQ(l1->access(store, now), L1Outcome::StoreDone);
+    EXPECT_EQ(stats.writeNoAllocates, 1u);
+    EXPECT_EQ(l1->access(load(2, 0), now), L1Outcome::Miss);
+}
+
+TEST_F(L1Fixture, BypassAccessDoesNotAllocate)
+{
+    L1Access access = load(1, 0);
+    access.bypassL1 = true;
+    EXPECT_EQ(l1->access(access, now), L1Outcome::Bypassed);
+    EXPECT_TRUE(completeAccess(1));
+    EXPECT_EQ(stats.l1.bypasses, 1u);
+    // The fill did not allocate: a regular load misses.
+    EXPECT_EQ(l1->access(load(2, 0), now), L1Outcome::Miss);
+}
+
+TEST_F(L1Fixture, VictimDataHitServesWithoutDownstreamFetch)
+{
+    RecordingVictim victim;
+    victim.hitLine = 4096;
+    l1->setVictimCache(&victim);
+    EXPECT_EQ(l1->access(load(1, 4096), now), L1Outcome::VictimHit);
+    EXPECT_TRUE(completeAccess(1));
+    EXPECT_EQ(stats.l1.regHits, 1u);
+    EXPECT_EQ(stats.dramReads, 0u);
+    EXPECT_EQ(victim.hits, 1);
+}
+
+TEST_F(L1Fixture, VictimTagOnlyHitStillFetches)
+{
+    RecordingVictim victim;
+    victim.tagHitLine = 4096;
+    l1->setVictimCache(&victim);
+    EXPECT_EQ(l1->access(load(1, 4096), now), L1Outcome::Miss);
+    EXPECT_TRUE(completeAccess(1));
+    EXPECT_EQ(stats.l1.regHits, 0u);
+    EXPECT_EQ(stats.dramReads, 1u);
+    EXPECT_EQ(victim.hits, 1); // Counted for the Load Monitor.
+}
+
+TEST_F(L1Fixture, EvictionCarriesLastTouchingHpc)
+{
+    RecordingVictim victim;
+    l1->setVictimCache(&victim);
+    const std::uint32_t sets = cfg.l1.sets();
+    std::uint64_t id = 1;
+    // Fill one set completely with loads from pc 12.
+    for (std::uint32_t w = 0; w < cfg.l1.ways; ++w) {
+        ASSERT_TRUE(l1Accepted(l1->access(
+            load(id, static_cast<Addr>(w) * sets * kLineBytes, 12),
+            now)));
+        ASSERT_TRUE(completeAccess(id));
+        ++id;
+    }
+    // One more insertion evicts the LRU line.
+    ASSERT_TRUE(l1Accepted(l1->access(
+        load(id, static_cast<Addr>(cfg.l1.ways) * sets * kLineBytes, 12),
+        now)));
+    ASSERT_TRUE(completeAccess(id));
+    ASSERT_EQ(victim.evictions.size(), 1u);
+    EXPECT_EQ(victim.evictions[0].second,
+              static_cast<std::uint8_t>(12 & 0x1f));
+}
+
+TEST_F(L1Fixture, StoreNotifiesVictimCache)
+{
+    RecordingVictim victim;
+    l1->setVictimCache(&victim);
+    L1Access store = load(1, 8192);
+    store.isWrite = true;
+    l1->access(store, now);
+    ASSERT_EQ(victim.stores.size(), 1u);
+    EXPECT_EQ(victim.stores[0], 8192u);
+}
+
+TEST_F(L1Fixture, StalledAccessHasNoObserverSideEffects)
+{
+    int observed = 0;
+    l1->setAccessObserver([&observed](Addr, Pc, bool, Cycle) {
+        ++observed;
+    });
+    // Exhaust the MSHRs with distinct lines.
+    std::uint64_t id = 1;
+    for (std::uint32_t i = 0; i < cfg.l1MshrEntries; ++i) {
+        ASSERT_EQ(l1->access(load(id++, (static_cast<Addr>(i) + 100) *
+                                            kLineBytes * 64),
+                             now),
+                  L1Outcome::Miss);
+    }
+    const int accepted = observed;
+    // Next miss stalls and must not be observed.
+    EXPECT_EQ(l1->access(load(id, 1 << 30), now), L1Outcome::StallNoMshr);
+    EXPECT_EQ(observed, accepted);
+}
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Integration tests for the Linebacker mechanism on a live SM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/gpu.hpp"
+#include "lb/linebacker.hpp"
+#include "workload/pattern.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+/** A kernel with one high-reuse load and one streaming load. */
+KernelInfo
+mixedKernel(std::uint32_t tile_lines, std::uint32_t warps_per_cta,
+            std::uint32_t regs_per_warp, std::uint32_t num_ctas)
+{
+    KernelInfo kernel;
+    kernel.name = "mixed";
+    kernel.warpsPerCta = warps_per_cta;
+    kernel.regsPerWarp = regs_per_warp;
+    kernel.iterations = 1000000; // Effectively unbounded.
+    kernel.numCtas = num_ctas;
+    kernel.patterns.push_back(std::make_shared<TiledReusePattern>(
+        Addr{1} << 38, tile_lines, TileScope::PerCta, warps_per_cta));
+    kernel.patterns.push_back(
+        std::make_shared<StreamingPattern>(Addr{2} << 38, warps_per_cta));
+
+    StaticInst tile_load;
+    tile_load.op = Opcode::Load;
+    tile_load.pc = 0;
+    tile_load.patternId = 0;
+    kernel.body.push_back(tile_load);
+    StaticInst stream_load;
+    stream_load.op = Opcode::Load;
+    stream_load.pc = 4;
+    stream_load.patternId = 1;
+    kernel.body.push_back(stream_load);
+    StaticInst use;
+    use.op = Opcode::Alu;
+    use.pc = 8;
+    use.dependsOnLoads = true;
+    use.stallCycles = 4;
+    kernel.body.push_back(use);
+    return kernel;
+}
+
+struct LinebackerFixture : ::testing::Test
+{
+    void
+    build(const SchemeConfig &scheme, std::uint32_t tile_lines = 512,
+          std::uint32_t regs_per_warp = 32)
+    {
+        cfg = GpuConfig{}.scaleTo(1);
+        cfg.maxCycles = 400000;
+        gpu = std::make_unique<Gpu>(cfg);
+        lbu = std::make_unique<Linebacker>(cfg, lb, scheme, &gpu->sm(0),
+                                           &gpu->stats());
+        gpu->setControllers({lbu.get()});
+        kernel = mixedKernel(tile_lines, 16, regs_per_warp, 64);
+    }
+
+    GpuConfig cfg;
+    LbConfig lb;
+    std::unique_ptr<Gpu> gpu;
+    std::unique_ptr<Linebacker> lbu;
+    KernelInfo kernel;
+};
+
+TEST_F(LinebackerFixture, SelectsReuseLoadNotStream)
+{
+    build(SchemeConfig::linebacker());
+    gpu->runKernel(kernel);
+    ASSERT_EQ(lbu->loadMonitor().state(), MonitorState::Selected);
+    EXPECT_TRUE(lbu->loadMonitor().isSelected(hashedPc(0)));
+    EXPECT_FALSE(lbu->loadMonitor().isSelected(hashedPc(4)));
+}
+
+TEST_F(LinebackerFixture, ProducesVictimHits)
+{
+    build(SchemeConfig::linebacker());
+    const SimStats &stats = gpu->runKernel(kernel);
+    EXPECT_GT(stats.victimLinesStored, 0u);
+    EXPECT_GT(stats.l1.regHits, 0u);
+}
+
+TEST_F(LinebackerFixture, ThrottlingBacksUpRegisters)
+{
+    build(SchemeConfig::linebacker());
+    const SimStats &stats = gpu->runKernel(kernel);
+    EXPECT_GT(stats.ctaThrottleEvents, 0u);
+    EXPECT_GT(stats.dramBackupWrites, 0u);
+    // Backup traffic is whole register images.
+    EXPECT_EQ(stats.dramBackupWrites % kernel.regsPerCta(), 0u);
+}
+
+TEST_F(LinebackerFixture, VictimSpaceRespectsIdleRegisters)
+{
+    build(SchemeConfig::linebacker());
+    gpu->runKernel(kernel);
+    const std::uint32_t backing =
+        lbu->vtt().activePartitions() * lbu->vtt().sets() *
+        lbu->vtt().ways();
+    // Every active partition must be backed by idle registers above the
+    // victim offset.
+    const RegisterFile &rf = gpu->sm(0).regFile();
+    std::uint32_t idle = rf.freeRegsAbove(lb.victimRegOffset);
+    for (const Cta &cta : gpu->sm(0).ctas()) {
+        if (cta.valid && !cta.active)
+            idle += cta.numRegs;
+    }
+    EXPECT_LE(backing, idle);
+}
+
+TEST_F(LinebackerFixture, SvcWithoutThrottlingUsesOnlyStaticSpace)
+{
+    // 8 regs/warp x 16 warps x 4 CTAs = 512 regs: 1536 statically free.
+    build(SchemeConfig::selectiveVictimCaching(), 512, 8);
+    const SimStats &stats = gpu->runKernel(kernel);
+    EXPECT_EQ(stats.ctaThrottleEvents, 0u);
+    EXPECT_EQ(stats.dramBackupWrites, 0u);
+    EXPECT_GT(stats.l1.regHits, 0u);
+}
+
+TEST_F(LinebackerFixture, VictimCachingAllSkipsMonitoring)
+{
+    build(SchemeConfig::victimCachingAll(), 512, 8);
+    const SimStats &stats = gpu->runKernel(kernel);
+    // Victim space engages immediately (no 2-window delay) and also
+    // stores streaming lines.
+    EXPECT_GT(stats.victimLinesStored, 0u);
+    EXPECT_TRUE(lbu->victimActive());
+}
+
+TEST_F(LinebackerFixture, CacheInsensitiveKernelDisables)
+{
+    // Pure streaming: no load qualifies.
+    build(SchemeConfig::linebacker());
+    KernelInfo streaming = kernel;
+    streaming.patterns[0] =
+        std::make_shared<StreamingPattern>(Addr{1} << 38, 16);
+    const SimStats &stats = gpu->runKernel(streaming);
+    EXPECT_EQ(lbu->loadMonitor().state(), MonitorState::Disabled);
+    EXPECT_EQ(stats.ctaThrottleEvents, 0u);
+    EXPECT_EQ(stats.l1.regHits, 0u);
+}
+
+TEST_F(LinebackerFixture, StoreInvalidatesVictimLine)
+{
+    build(SchemeConfig::linebacker());
+    const SimStats &stats = gpu->runKernel(kernel);
+    ASSERT_GT(stats.victimLinesStored, 0u);
+    ASSERT_GT(lbu->vtt().validLines(), 0u);
+    // Sweep stores over the tile region: every victim copy of a stored
+    // line must be dropped (write-evict keeps victim lines clean).
+    const std::uint64_t before = stats.victimInvalidations;
+    const Addr tile_base = Addr{1} << 38;
+    for (std::uint64_t l = 0; l < 64 * 512; ++l)
+        lbu->notifyStore(tile_base + l * kLineBytes, gpu->now());
+    EXPECT_GT(stats.victimInvalidations, before);
+    EXPECT_EQ(lbu->vtt().validLines(), 0u);
+}
+
+TEST_F(LinebackerFixture, RestoreRereadsBackupImage)
+{
+    // Force aggressive throttling then recovery by using an IPC band
+    // that always wants fewer CTAs first and strict lower bound later.
+    build(SchemeConfig::linebacker());
+    const SimStats &stats = gpu->runKernel(kernel);
+    if (stats.ctaActivateEvents > 0) {
+        EXPECT_GT(stats.dramRestoreReads, 0u);
+        EXPECT_EQ(stats.dramRestoreReads % kernel.regsPerCta(), 0u);
+    }
+}
+
+TEST_F(LinebackerFixture, MonitoringWindowsReported)
+{
+    build(SchemeConfig::linebacker());
+    gpu->runKernel(kernel);
+    EXPECT_GE(lbu->monitoringWindows(), 2u);
+}
+
+} // namespace
+} // namespace lbsim

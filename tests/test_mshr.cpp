@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the MSHR file.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+TEST(MshrFile, AllocatesFirstMiss)
+{
+    MshrFile mshrs(4, 2);
+    EXPECT_EQ(mshrs.registerMiss(128, 1, true), MshrOutcome::Allocated);
+    EXPECT_TRUE(mshrs.pending(128));
+    EXPECT_EQ(mshrs.inUse(), 1u);
+}
+
+TEST(MshrFile, MergesSecondMissToSameLine)
+{
+    MshrFile mshrs(4, 2);
+    mshrs.registerMiss(128, 1, true);
+    EXPECT_EQ(mshrs.registerMiss(128, 2, true), MshrOutcome::Merged);
+    EXPECT_EQ(mshrs.inUse(), 1u);
+}
+
+TEST(MshrFile, RejectsWhenMergeListFull)
+{
+    MshrFile mshrs(4, 2);
+    mshrs.registerMiss(128, 1, true);
+    mshrs.registerMiss(128, 2, true);
+    EXPECT_EQ(mshrs.registerMiss(128, 3, true),
+              MshrOutcome::NoMergeSlot);
+}
+
+TEST(MshrFile, RejectsWhenAllEntriesBusy)
+{
+    MshrFile mshrs(2, 4);
+    mshrs.registerMiss(0, 1, true);
+    mshrs.registerMiss(128, 2, true);
+    EXPECT_EQ(mshrs.registerMiss(256, 3, true), MshrOutcome::NoEntry);
+}
+
+TEST(MshrFile, FillReturnsAllWaiters)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.registerMiss(128, 1, true);
+    mshrs.registerMiss(128, 2, true);
+    mshrs.registerMiss(128, 3, true);
+    std::vector<std::uint64_t> waiters;
+    EXPECT_TRUE(mshrs.completeFill(128, waiters));
+    EXPECT_EQ(waiters.size(), 3u);
+    EXPECT_FALSE(mshrs.pending(128));
+    EXPECT_EQ(mshrs.inUse(), 0u);
+}
+
+TEST(MshrFile, BypassOnlyEntryDoesNotAllocateOnFill)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.registerMiss(128, 1, false);
+    std::vector<std::uint64_t> waiters;
+    EXPECT_FALSE(mshrs.completeFill(128, waiters));
+}
+
+TEST(MshrFile, AnyAllocatingWaiterForcesAllocateOnFill)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.registerMiss(128, 1, false);
+    mshrs.registerMiss(128, 2, true); // Allocating waiter merges in.
+    std::vector<std::uint64_t> waiters;
+    EXPECT_TRUE(mshrs.completeFill(128, waiters));
+    EXPECT_EQ(waiters.size(), 2u);
+}
+
+TEST(MshrFile, EntryReusableAfterFill)
+{
+    MshrFile mshrs(1, 1);
+    mshrs.registerMiss(128, 1, true);
+    std::vector<std::uint64_t> waiters;
+    mshrs.completeFill(128, waiters);
+    EXPECT_EQ(mshrs.registerMiss(256, 2, true), MshrOutcome::Allocated);
+}
+
+} // namespace
+} // namespace lbsim

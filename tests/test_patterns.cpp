@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit and property tests for the address-pattern generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/pattern.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+AccessContext
+ctx(std::uint32_t cta, std::uint32_t warp, std::uint32_t iter,
+    std::uint32_t sm = 0)
+{
+    AccessContext c;
+    c.smId = sm;
+    c.globalCtaId = cta;
+    c.warpInCta = warp;
+    c.iteration = iter;
+    return c;
+}
+
+TEST(TiledReusePattern, StaysWithinTileFootprint)
+{
+    TiledReusePattern pattern(0, 64, TileScope::PerCta, 8);
+    std::set<Addr> seen;
+    std::vector<Addr> lines;
+    for (std::uint32_t iter = 0; iter < 500; ++iter) {
+        for (std::uint32_t warp = 0; warp < 8; ++warp) {
+            lines.clear();
+            pattern.generate(ctx(3, warp, iter), lines);
+            ASSERT_EQ(lines.size(), 1u);
+            seen.insert(lines[0]);
+        }
+    }
+    // All accesses fall inside CTA 3's 64-line tile.
+    EXPECT_LE(seen.size(), 64u);
+    for (Addr addr : seen) {
+        EXPECT_GE(lineIndex(addr), 3u * 64);
+        EXPECT_LT(lineIndex(addr), 4u * 64);
+    }
+}
+
+TEST(TiledReusePattern, RevisitsAfterFullSweep)
+{
+    TiledReusePattern pattern(0, 16, TileScope::PerWarp, 8);
+    std::vector<Addr> first, again;
+    pattern.generate(ctx(0, 0, 0), first);
+    pattern.generate(ctx(0, 0, 16), again); // One full sweep later.
+    EXPECT_EQ(first, again);
+}
+
+TEST(TiledReusePattern, ScopesSeparateInstances)
+{
+    TiledReusePattern per_cta(0, 32, TileScope::PerCta, 8);
+    std::vector<Addr> a, b;
+    per_cta.generate(ctx(0, 0, 0), a);
+    per_cta.generate(ctx(9, 0, 0), b);
+    // Different CTAs sweep disjoint tiles.
+    EXPECT_NE(lineIndex(a[0]) / 32, lineIndex(b[0]) / 32);
+}
+
+TEST(TiledReusePattern, GlobalScopeSharesOneTile)
+{
+    TiledReusePattern global(0, 32, TileScope::Global, 8);
+    std::set<Addr> seen;
+    std::vector<Addr> lines;
+    for (std::uint32_t cta = 0; cta < 16; ++cta) {
+        for (std::uint32_t iter = 0; iter < 64; ++iter) {
+            lines.clear();
+            global.generate(ctx(cta, 0, iter), lines);
+            seen.insert(lines[0]);
+        }
+    }
+    EXPECT_LE(seen.size(), 32u);
+}
+
+TEST(TiledReusePattern, SharersAreDecorrelated)
+{
+    // Two sharers of one tile must not walk in lockstep (lockstep would
+    // collapse reuse into MSHR merges).
+    TiledReusePattern pattern(0, 64, TileScope::PerCta, 8);
+    std::vector<Addr> a, b;
+    pattern.generate(ctx(0, 0, 5), a);
+    pattern.generate(ctx(0, 1, 5), b);
+    EXPECT_NE(a[0], b[0]);
+}
+
+TEST(StreamingPattern, NeverRevisits)
+{
+    StreamingPattern pattern(0, 8, 1);
+    std::unordered_set<Addr> seen;
+    std::vector<Addr> lines;
+    for (std::uint32_t iter = 0; iter < 1000; ++iter) {
+        lines.clear();
+        pattern.generate(ctx(2, 3, iter), lines);
+        ASSERT_EQ(lines.size(), 1u);
+        EXPECT_TRUE(seen.insert(lines[0]).second)
+            << "stream revisited a line at iteration " << iter;
+    }
+}
+
+TEST(StreamingPattern, DistinctWarpsDistinctStreams)
+{
+    StreamingPattern pattern(0, 8, 1);
+    std::vector<Addr> a, b;
+    pattern.generate(ctx(0, 0, 7), a);
+    pattern.generate(ctx(0, 1, 7), b);
+    EXPECT_NE(a[0], b[0]);
+}
+
+TEST(StreamingPattern, PeriodSkipsIterations)
+{
+    StreamingPattern pattern(0, 8, 1, 4);
+    std::vector<Addr> lines;
+    std::uint32_t touched = 0;
+    for (std::uint32_t iter = 0; iter < 16; ++iter) {
+        lines.clear();
+        pattern.generate(ctx(0, 0, iter), lines);
+        touched += static_cast<std::uint32_t>(lines.size());
+    }
+    EXPECT_EQ(touched, 4u);
+}
+
+TEST(StreamingPattern, MultipleLinesPerIteration)
+{
+    StreamingPattern pattern(0, 8, 3);
+    std::vector<Addr> lines;
+    pattern.generate(ctx(0, 0, 0), lines);
+    EXPECT_EQ(lines.size(), 3u);
+}
+
+TEST(IrregularPattern, DeterministicForSameContext)
+{
+    IrregularPattern pattern(0, 1 << 16, 4, 128, 0.5, 42);
+    std::vector<Addr> a, b;
+    pattern.generate(ctx(1, 2, 3), a);
+    pattern.generate(ctx(1, 2, 3), b);
+    EXPECT_EQ(a, b);
+}
+
+TEST(IrregularPattern, FanoutProducesThatManyLines)
+{
+    IrregularPattern pattern(0, 1 << 16, 4, 0, 0.0, 42);
+    std::vector<Addr> lines;
+    pattern.generate(ctx(0, 0, 0), lines);
+    EXPECT_EQ(lines.size(), 4u);
+}
+
+TEST(IrregularPattern, HotSubsetReceivesItsShare)
+{
+    const std::uint64_t hot = 64;
+    IrregularPattern pattern(0, 1 << 20, 1, hot, 0.7, 42);
+    std::vector<Addr> lines;
+    std::uint32_t in_hot = 0;
+    const std::uint32_t total = 4000;
+    for (std::uint32_t i = 0; i < total; ++i) {
+        lines.clear();
+        pattern.generate(ctx(i % 61, i % 7, i), lines);
+        if (lineIndex(lines[0]) < hot)
+            ++in_hot;
+    }
+    const double share = static_cast<double>(in_hot) / total;
+    EXPECT_NEAR(share, 0.7, 0.05);
+}
+
+TEST(IrregularPattern, StaysWithinFootprint)
+{
+    const std::uint64_t footprint = 1 << 10;
+    IrregularPattern pattern(0, footprint, 2, 0, 0.0, 7);
+    std::vector<Addr> lines;
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        lines.clear();
+        pattern.generate(ctx(i, i % 8, i * 3), lines);
+        for (Addr addr : lines)
+            EXPECT_LT(lineIndex(addr), footprint);
+    }
+}
+
+/** Property: patterns are pure functions (scheme-independent streams). */
+class PatternPurity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PatternPurity, InterleavingDoesNotChangeAddresses)
+{
+    const int variant = GetParam();
+    auto make = [variant]() -> std::unique_ptr<AddressPatternIf> {
+        switch (variant) {
+          case 0:
+            return std::make_unique<TiledReusePattern>(
+                0, 96, TileScope::PerCta, 8);
+          case 1:
+            return std::make_unique<StreamingPattern>(0, 8, 2, 3);
+          default:
+            return std::make_unique<IrregularPattern>(0, 1 << 14, 3, 64,
+                                                      0.4, 99);
+        }
+    };
+    auto p1 = make();
+    auto p2 = make();
+    // p1 queried in-order; p2 queried in reverse order.
+    std::vector<std::vector<Addr>> in_order(100), reversed(100);
+    for (std::uint32_t i = 0; i < 100; ++i)
+        p1->generate(ctx(i % 5, i % 8, i), in_order[i]);
+    for (std::uint32_t i = 100; i-- > 0;)
+        p2->generate(ctx(i % 5, i % 8, i), reversed[i]);
+    EXPECT_EQ(in_order, reversed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatternKinds, PatternPurity,
+                         ::testing::Values(0, 1, 2));
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Property-based sweeps: structural invariants that must hold across
+ * configuration ranges, checked with parameterized gtest suites.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "harness/sim_runner.hpp"
+#include "lb/victim_tag_table.hpp"
+#include "mem/tag_array.hpp"
+#include "workload/suite.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+/** Property: L1 cache-size monotonicity — more capacity, fewer misses. */
+class CacheSizeMonotonicity
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(CacheSizeMonotonicity, BiggerL1NeverHurtsHitRatio)
+{
+    RunnerOptions options;
+    options.simSms = 1;
+    options.maxCycles = 80000;
+    options.useMemoCache = false;
+
+    double prev_hits = -1.0;
+    for (std::uint32_t kb : {16u, 48u, 128u}) {
+        GpuConfig cfg;
+        cfg.l1.sizeBytes = kb * 1024;
+        SimRunner runner(cfg, {}, options);
+        const RunMetrics m =
+            runner.run(appById(GetParam()), SchemeConfig::baseline());
+        const double hits = static_cast<double>(m.stats.l1.l1Hits) /
+            m.stats.l1.total();
+        EXPECT_GE(hits, prev_hits - 0.02)
+            << GetParam() << " at " << kb << "KB";
+        prev_hits = hits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, CacheSizeMonotonicity,
+                         ::testing::Values("S2", "KM", "GA", "HS"));
+
+/** Property: LRU tag arrays never exceed capacity and stay consistent. */
+class TagArrayStress
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(TagArrayStress, RandomTrafficKeepsInvariants)
+{
+    const std::uint32_t ways = GetParam();
+    TagArray tags(16, ways);
+    Rng rng(ways * 7919);
+    std::uint32_t hits = 0;
+    for (Cycle now = 0; now < 20000; ++now) {
+        const Addr line = rng.below(1024) * kLineBytes;
+        if (tags.access(line, 0, now)) {
+            ++hits;
+            // A hit must imply residency.
+            ASSERT_TRUE(tags.probe(line));
+        } else {
+            tags.insert(line, 0, now);
+            // After insertion the line is resident.
+            ASSERT_TRUE(tags.probe(line));
+        }
+        ASSERT_LE(tags.validLines(), 16 * ways);
+    }
+    // Higher associativity on the same traffic yields at least some hits.
+    EXPECT_GT(hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, TagArrayStress,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+/**
+ * Property: VTT register mapping stays disjoint from active CTA
+ * registers whenever partitions are sized from idle space.
+ */
+TEST(VictimSpaceProperty, PartitionRegistersNeverOverlapOffsetFloor)
+{
+    GpuConfig gpu;
+    LbConfig lb;
+    SimStats stats;
+    VictimTagTable vtt(gpu, lb, &stats);
+    for (std::uint32_t parts = 0; parts <= lb.vttMaxPartitions; ++parts) {
+        vtt.setActivePartitions(parts);
+        for (std::uint32_t p = 0; p < parts; ++p) {
+            EXPECT_GE(vtt.regNumFor(p, 0, 0), lb.victimRegOffset);
+            EXPECT_LT(vtt.regNumFor(p, vtt.sets() - 1, vtt.ways() - 1),
+                      gpu.totalWarpRegisters());
+        }
+    }
+}
+
+/** Property: scheme runs conserve memory requests (no lost loads). */
+class RequestConservation
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(RequestConservation, LoadsAllComplete)
+{
+    RunnerOptions options;
+    options.simSms = 1;
+    options.maxCycles = 100000;
+    options.useMemoCache = false;
+    SimRunner runner({}, {}, options);
+    const RunMetrics m =
+        runner.run(appById(GetParam()), SchemeConfig::linebacker());
+    const SimStats &s = m.stats;
+    // Every accepted load access ends as exactly one of the outcome
+    // classes; completions can lag the cycle cap only by the in-flight
+    // window.
+    const std::uint64_t outcomes = s.l1.total();
+    EXPECT_GE(outcomes, s.loadsCompleted);
+    EXPECT_LE(outcomes - s.loadsCompleted,
+              static_cast<std::uint64_t>(
+                  GpuConfig{}.l1MshrEntries * 4 + 512));
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, RequestConservation,
+                         ::testing::Values("S2", "BC", "LI", "BI"));
+
+/** Property: DRAM bandwidth accounting is conserved across schemes. */
+TEST(TrafficProperty, VictimHitsReduceDownstreamReads)
+{
+    RunnerOptions options;
+    options.simSms = 1;
+    options.maxCycles = 200000;
+    options.useMemoCache = false;
+    SimRunner runner({}, {}, options);
+    const AppProfile &app = appById("S2");
+    const RunMetrics base = runner.run(app, SchemeConfig::baseline());
+    const RunMetrics lb = runner.run(app, SchemeConfig::linebacker());
+    if (lb.stats.l1.regHits > 1000) {
+        // Reads per issued instruction must drop when victim hits serve
+        // data on-chip.
+        const double base_rpi = static_cast<double>(base.stats.dramReads) /
+            base.stats.instructionsIssued;
+        const double lb_rpi = static_cast<double>(lb.stats.dramReads) /
+            lb.stats.instructionsIssued;
+        EXPECT_LT(lb_rpi, base_rpi);
+    }
+}
+
+/** Property: throttle depth never exceeds resident CTAs. */
+class ThrottleDepth : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(ThrottleDepth, ActivationsBalanceEventually)
+{
+    RunnerOptions options;
+    options.simSms = 1;
+    options.maxCycles = 250000;
+    options.useMemoCache = false;
+    SimRunner runner({}, {}, options);
+    const RunMetrics m =
+        runner.run(appById(GetParam()), SchemeConfig::linebacker());
+    // Net throttles bounded by the CTA slots of one SM.
+    EXPECT_LE(m.stats.ctaThrottleEvents - m.stats.ctaActivateEvents,
+              static_cast<std::uint64_t>(GpuConfig{}.maxCtasPerSm));
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, ThrottleDepth,
+                         ::testing::Values("S2", "CF", "KM", "BG"));
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the 20-application benchmark suite (Table 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/suite.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+TEST(Suite, HasTwentyAppsTenPerCategory)
+{
+    const auto &suite = benchmarkSuite();
+    EXPECT_EQ(suite.size(), 20u);
+    EXPECT_EQ(cacheSensitiveApps().size(), 10u);
+    EXPECT_EQ(cacheInsensitiveApps().size(), 10u);
+}
+
+TEST(Suite, Table2AbbreviationsPresent)
+{
+    const std::set<std::string> expected = {
+        "S2", "GE", "BI", "KM", "AT", "BC", "S1", "MV", "CF", "PF",
+        "BG", "LI", "SR2", "SP", "BR", "FD", "GA", "SR1", "2D", "HS",
+    };
+    std::set<std::string> actual;
+    for (const AppProfile &app : benchmarkSuite())
+        actual.insert(app.id);
+    EXPECT_EQ(actual, expected);
+}
+
+TEST(Suite, LookupByIdWorks)
+{
+    EXPECT_EQ(appById("KM").id, "KM");
+    EXPECT_TRUE(appById("S2").cacheSensitive);
+    EXPECT_FALSE(appById("HS").cacheSensitive);
+}
+
+TEST(SuiteDeath, LookupUnknownIdFails)
+{
+    EXPECT_DEATH(appById("XX"), "unknown application");
+}
+
+TEST(Suite, EveryProfileCompilesToValidKernel)
+{
+    GpuConfig cfg;
+    for (const AppProfile &app : benchmarkSuite()) {
+        const KernelInfo kernel = app.buildKernel(cfg);
+        EXPECT_FALSE(kernel.body.empty()) << app.id;
+        EXPECT_GT(kernel.numCtas, 0u) << app.id;
+        // validate() would have fataled; reaching here means it passed.
+        // Loads reference existing patterns.
+        for (const StaticInst &inst : kernel.body) {
+            if (inst.op == Opcode::Load || inst.op == Opcode::Store) {
+                EXPECT_LT(inst.patternId, kernel.patterns.size())
+                    << app.id;
+            }
+        }
+    }
+}
+
+TEST(Suite, EveryProfileFitsOccupancyRules)
+{
+    GpuConfig cfg;
+    for (const AppProfile &app : benchmarkSuite()) {
+        const KernelInfo kernel = app.buildKernel(cfg);
+        // At least one CTA must fit on an SM.
+        EXPECT_LE(kernel.regsPerCta(), cfg.totalWarpRegisters())
+            << app.id;
+        EXPECT_LE(kernel.warpsPerCta, cfg.maxWarpsPerSm) << app.id;
+        EXPECT_LE(kernel.sharedMemPerCta, cfg.sharedMemBytesPerSm)
+            << app.id;
+    }
+}
+
+TEST(Suite, DistinctPcsPerStaticInstruction)
+{
+    GpuConfig cfg;
+    for (const AppProfile &app : benchmarkSuite()) {
+        const KernelInfo kernel = app.buildKernel(cfg);
+        std::set<Pc> pcs;
+        for (const StaticInst &inst : kernel.body)
+            EXPECT_TRUE(pcs.insert(inst.pc).second) << app.id;
+    }
+}
+
+TEST(Suite, SensitiveAppsCarryReuseOrHotIrregularLoads)
+{
+    for (const AppProfile &app : cacheSensitiveApps()) {
+        bool has_locality = false;
+        for (const LoadSpec &load : app.loads) {
+            if (load.cls == LoadClass::Reuse ||
+                (load.cls == LoadClass::Irregular && load.hotLines > 0)) {
+                has_locality = true;
+            }
+        }
+        EXPECT_TRUE(has_locality) << app.id;
+    }
+}
+
+TEST(Suite, KernelsAreDeterministic)
+{
+    GpuConfig cfg;
+    const AppProfile &app = appById("BC");
+    const KernelInfo a = app.buildKernel(cfg);
+    const KernelInfo b = app.buildKernel(cfg);
+    ASSERT_EQ(a.body.size(), b.body.size());
+    // Same pattern objects produce the same addresses.
+    AccessContext ctx;
+    ctx.globalCtaId = 3;
+    ctx.warpInCta = 2;
+    ctx.iteration = 17;
+    std::vector<Addr> la, lb_;
+    a.patterns[0]->generate(ctx, la);
+    b.patterns[0]->generate(ctx, lb_);
+    EXPECT_EQ(la, lb_);
+}
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mem/tag_array.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+Addr
+lineAddr(std::uint64_t line)
+{
+    return line * kLineBytes;
+}
+
+TEST(TagArray, MissesWhenEmpty)
+{
+    TagArray tags(48, 8);
+    EXPECT_FALSE(tags.access(lineAddr(3), 0, 1));
+    EXPECT_FALSE(tags.probe(lineAddr(3)));
+}
+
+TEST(TagArray, HitAfterInsert)
+{
+    TagArray tags(48, 8);
+    EXPECT_FALSE(tags.insert(lineAddr(3), 7, 1).has_value());
+    EXPECT_TRUE(tags.probe(lineAddr(3)));
+    EXPECT_TRUE(tags.access(lineAddr(3), 7, 2));
+}
+
+TEST(TagArray, HpcFieldTracksLastToucher)
+{
+    TagArray tags(48, 8);
+    tags.insert(lineAddr(5), 3, 1);
+    ASSERT_TRUE(tags.lineHpc(lineAddr(5)).has_value());
+    EXPECT_EQ(*tags.lineHpc(lineAddr(5)), 3);
+    tags.access(lineAddr(5), 9, 2);
+    EXPECT_EQ(*tags.lineHpc(lineAddr(5)), 9);
+}
+
+TEST(TagArray, EvictsLruWithinSet)
+{
+    TagArray tags(4, 2); // Tiny geometry: set = line % 4.
+    // Two lines mapping to set 0: lines 0 and 4.
+    tags.insert(lineAddr(0), 1, 10);
+    tags.insert(lineAddr(4), 2, 20);
+    // Touch line 0 so line 4 becomes LRU.
+    tags.access(lineAddr(0), 1, 30);
+    const auto evicted = tags.insert(lineAddr(8), 3, 40);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->lineAddr, lineAddr(4));
+    EXPECT_EQ(evicted->hpc, 2);
+    EXPECT_TRUE(tags.probe(lineAddr(0)));
+    EXPECT_FALSE(tags.probe(lineAddr(4)));
+    EXPECT_TRUE(tags.probe(lineAddr(8)));
+}
+
+TEST(TagArray, ReinsertRefreshesInsteadOfDuplicating)
+{
+    TagArray tags(4, 2);
+    tags.insert(lineAddr(0), 1, 1);
+    tags.insert(lineAddr(0), 1, 2);
+    EXPECT_EQ(tags.validLines(), 1u);
+}
+
+TEST(TagArray, InvalidateRemovesLine)
+{
+    TagArray tags(48, 8);
+    tags.insert(lineAddr(17), 0, 1);
+    EXPECT_TRUE(tags.invalidate(lineAddr(17)));
+    EXPECT_FALSE(tags.probe(lineAddr(17)));
+    EXPECT_FALSE(tags.invalidate(lineAddr(17)));
+}
+
+TEST(TagArray, InvalidateAllEmptiesArray)
+{
+    TagArray tags(8, 4);
+    for (std::uint64_t i = 0; i < 32; ++i)
+        tags.insert(lineAddr(i), 0, i);
+    EXPECT_EQ(tags.validLines(), 32u);
+    tags.invalidateAll();
+    EXPECT_EQ(tags.validLines(), 0u);
+}
+
+TEST(TagArray, DistinctSetsDoNotInterfere)
+{
+    TagArray tags(4, 1);
+    tags.insert(lineAddr(0), 0, 1); // set 0
+    tags.insert(lineAddr(1), 0, 1); // set 1
+    tags.insert(lineAddr(2), 0, 1); // set 2
+    tags.insert(lineAddr(3), 0, 1); // set 3
+    EXPECT_EQ(tags.validLines(), 4u);
+    // Inserting into set 0 again evicts only set 0's line.
+    const auto evicted = tags.insert(lineAddr(4), 0, 2);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->lineAddr, lineAddr(0));
+    EXPECT_TRUE(tags.probe(lineAddr(1)));
+}
+
+TEST(TagArray, GeometryFromCacheConfig)
+{
+    CacheGeometry geom{48 * 1024, 8, 128};
+    TagArray tags(geom);
+    EXPECT_EQ(tags.sets(), 48u);
+    EXPECT_EQ(tags.ways(), 8u);
+}
+
+/** Property: occupancy never exceeds sets x ways under random traffic. */
+class TagArrayGeometry
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(TagArrayGeometry, OccupancyBoundedUnderRandomTraffic)
+{
+    const auto [sets, ways] = GetParam();
+    TagArray tags(sets, ways);
+    Rng rng(sets * 1000 + ways);
+    for (Cycle now = 0; now < 5000; ++now) {
+        const Addr addr = lineAddr(rng.below(4096));
+        if (!tags.access(addr, 0, now))
+            tags.insert(addr, 0, now);
+        ASSERT_LE(tags.validLines(), sets * ways);
+    }
+    // Steady state: a working set much larger than capacity fills it.
+    EXPECT_EQ(tags.validLines(), sets * ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TagArrayGeometry,
+    ::testing::Values(std::pair{4u, 1u}, std::pair{4u, 2u},
+                      std::pair{16u, 4u}, std::pair{48u, 8u},
+                      std::pair{48u, 32u}));
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the Victim Tag Table: partitioning, Eq. 2 register
+ * mapping, sequential search latency, LRU replacement, and tag-only mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lb/victim_tag_table.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+struct VttFixture : ::testing::Test
+{
+    VttFixture() : vtt(gpu, lb, &stats) {}
+
+    Addr
+    lineInSet(std::uint32_t set, std::uint32_t k) const
+    {
+        // Distinct lines mapping to the same set.
+        return (static_cast<Addr>(k) * vtt.sets() + set) * kLineBytes;
+    }
+
+    GpuConfig gpu;
+    LbConfig lb;
+    SimStats stats;
+    VictimTagTable vtt;
+};
+
+TEST_F(VttFixture, GeometryMatchesPaper)
+{
+    EXPECT_EQ(vtt.sets(), 48u);
+    EXPECT_EQ(vtt.ways(), 4u);
+    EXPECT_EQ(vtt.maxPartitions(), 8u);
+    vtt.setActivePartitions(8);
+    EXPECT_EQ(vtt.capacityLines(), 1536u); // 8 x 48 x 4.
+}
+
+TEST_F(VttFixture, Eq2RegisterMapping)
+{
+    // RN = Offset + N_VP * entries + set * ways + way.
+    EXPECT_EQ(vtt.regNumFor(0, 0, 0), 512u);
+    EXPECT_EQ(vtt.regNumFor(0, 0, 3), 515u);
+    EXPECT_EQ(vtt.regNumFor(0, 1, 0), 516u);
+    EXPECT_EQ(vtt.regNumFor(1, 0, 0), 512u + 192u);
+    EXPECT_EQ(vtt.regNumFor(7, 47, 3), 512u + 7u * 192 + 47u * 4 + 3);
+    // The last victim register stays within the 2048-register file.
+    EXPECT_LT(vtt.regNumFor(7, 47, 3), 2048u);
+}
+
+TEST_F(VttFixture, InsertThenProbeHits)
+{
+    vtt.setActivePartitions(2);
+    RegNum reg = 0;
+    ASSERT_TRUE(vtt.insert(lineInSet(5, 0), 1, reg));
+    const VttProbe probe = vtt.probe(lineInSet(5, 0), 2);
+    EXPECT_TRUE(probe.hit);
+    EXPECT_EQ(probe.regNum, reg);
+}
+
+TEST_F(VttFixture, ProbeLatencyGrowsPerPartitionSearched)
+{
+    vtt.setActivePartitions(4);
+    // Fill partition 0's set 0 so later inserts spill to partition 1.
+    RegNum reg = 0;
+    for (std::uint32_t k = 0; k < 4; ++k)
+        vtt.insert(lineInSet(0, k), k, reg);
+    // A line in partition 0 answers after one probe step.
+    const VttProbe first = vtt.probe(lineInSet(0, 0), 10);
+    EXPECT_TRUE(first.hit);
+    EXPECT_EQ(first.latency, lb.vttAccessLatency);
+    // A miss searches all four partitions sequentially.
+    const VttProbe miss = vtt.probe(lineInSet(0, 99), 11);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_EQ(miss.latency, 4 * lb.vttAccessLatency);
+}
+
+TEST_F(VttFixture, NoInsertWithoutActivePartitions)
+{
+    RegNum reg = 0;
+    EXPECT_FALSE(vtt.insert(lineInSet(0, 0), 1, reg));
+}
+
+TEST_F(VttFixture, LruReplacementWithinSet)
+{
+    vtt.setActivePartitions(1);
+    RegNum reg = 0;
+    for (std::uint32_t k = 0; k < 4; ++k)
+        vtt.insert(lineInSet(7, k), k + 1, reg);
+    // Touch the oldest so k=1 becomes LRU.
+    vtt.probe(lineInSet(7, 0), 10);
+    vtt.insert(lineInSet(7, 9), 11, reg);
+    EXPECT_TRUE(vtt.probe(lineInSet(7, 0), 12).hit);
+    EXPECT_FALSE(vtt.probe(lineInSet(7, 1), 13).hit);
+}
+
+TEST_F(VttFixture, InvalidatedSlotReusedFirst)
+{
+    // Store-invalidated entries are replaced in priority (Section 4).
+    vtt.setActivePartitions(2);
+    RegNum reg = 0;
+    for (std::uint32_t k = 0; k < 4; ++k)
+        vtt.insert(lineInSet(3, k), k, reg);
+    ASSERT_TRUE(vtt.invalidate(lineInSet(3, 2)));
+    RegNum reused = 0;
+    vtt.insert(lineInSet(3, 50), 60, reused);
+    // The new line landed in the invalidated slot of partition 0, not in
+    // partition 1.
+    EXPECT_EQ(reused, vtt.regNumFor(0, 3, 2));
+    // All other lines survived.
+    for (std::uint32_t k = 0; k < 4; ++k) {
+        if (k != 2) {
+            EXPECT_TRUE(vtt.probe(lineInSet(3, k), 99).hit);
+        }
+    }
+}
+
+TEST_F(VttFixture, DuplicateInsertRefreshes)
+{
+    vtt.setActivePartitions(2);
+    RegNum first = 0;
+    RegNum second = 0;
+    vtt.insert(lineInSet(1, 0), 1, first);
+    vtt.insert(lineInSet(1, 0), 2, second);
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(vtt.validLines(), 1u);
+}
+
+TEST_F(VttFixture, ShrinkingPartitionsDropsTheirEntries)
+{
+    vtt.setActivePartitions(2);
+    RegNum reg = 0;
+    // Fill set 0 of both partitions.
+    for (std::uint32_t k = 0; k < 8; ++k)
+        vtt.insert(lineInSet(0, k), k, reg);
+    EXPECT_EQ(vtt.validLines(), 8u);
+    vtt.setActivePartitions(1);
+    EXPECT_EQ(vtt.validLines(), 4u);
+    // Capacity reflects the shrink.
+    EXPECT_EQ(vtt.capacityLines(), 192u);
+}
+
+TEST_F(VttFixture, TagOnlyModeUsesAllPartitions)
+{
+    vtt.setTagOnlyMode(true);
+    EXPECT_EQ(vtt.activePartitions(), lb.vttMaxPartitions);
+    RegNum reg = 0;
+    EXPECT_TRUE(vtt.insert(lineInSet(2, 0), 1, reg));
+    EXPECT_TRUE(vtt.probe(lineInSet(2, 0), 2).hit);
+    // Leaving tag-only mode wipes the table.
+    vtt.setTagOnlyMode(false);
+    EXPECT_EQ(vtt.validLines(), 0u);
+    EXPECT_EQ(vtt.activePartitions(), 0u);
+}
+
+/** Property sweep over associativity (Fig 10 configurations). */
+class VttAssociativity : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(VttAssociativity, CapacityAndMappingConsistent)
+{
+    GpuConfig gpu;
+    LbConfig lb;
+    lb.vttWays = GetParam();
+    lb.vttMaxPartitions = 1536 / (48 * lb.vttWays);
+    SimStats stats;
+    VictimTagTable vtt(gpu, lb, &stats);
+    vtt.setActivePartitions(lb.vttMaxPartitions);
+    EXPECT_EQ(vtt.capacityLines(), 1536u);
+    // Every mapped register is unique and within the register file.
+    std::set<RegNum> regs;
+    for (std::uint32_t p = 0; p < lb.vttMaxPartitions; ++p) {
+        for (std::uint32_t s = 0; s < 48; ++s) {
+            for (std::uint32_t w = 0; w < lb.vttWays; ++w) {
+                const RegNum rn = vtt.regNumFor(p, s, w);
+                EXPECT_GE(rn, lb.victimRegOffset);
+                EXPECT_LT(rn, 2048u);
+                EXPECT_TRUE(regs.insert(rn).second);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, VttAssociativity,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+} // namespace
+} // namespace lbsim

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * lbsim command-line driver: run one (application, scheme) pair with
+ * overridable configuration and print a full statistics report.
+ *
+ * Examples:
+ *   lbsim_cli --app KM --scheme linebacker
+ *   lbsim_cli --app S2 --scheme best-swl --warp-limit 16 --l1-kb 96
+ *   lbsim_cli --list
+ *   lbsim_cli --app BI --scheme svc --sms 4 --cycles 600000 --csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/oracle.hpp"
+#include "harness/sim_runner.hpp"
+#include "power/energy_model.hpp"
+#include "workload/suite.hpp"
+
+namespace
+{
+
+using namespace lbsim;
+
+void
+usage()
+{
+    std::puts(
+        "usage: lbsim_cli --app <id> --scheme <name> [options]\n"
+        "\n"
+        "schemes: baseline, best-swl (oracle unless --warp-limit),\n"
+        "         ccws, pcal, cerf, linebacker, vc, svc, pcal-svc,\n"
+        "         pcal-cerf, cache-ext, lb-cache-ext\n"
+        "options:\n"
+        "  --list               list the 20 Table-2 applications\n"
+        "  --warp-limit <n>     static warp limit for best-swl\n"
+        "  --sms <n>            SMs to simulate (default 2, scaled chip)\n"
+        "  --cycles <n>         measured cycles (default 400000)\n"
+        "  --warmup <n>         warm-up cycles (default 200000)\n"
+        "  --l1-kb <n>          L1 size in KB (default 48)\n"
+        "  --no-cache           bypass the on-disk memo cache\n"
+        "  --csv                machine-readable one-line output");
+}
+
+const char *
+arg(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
+bool
+flag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lbsim;
+
+    if (flag(argc, argv, "--help") || argc < 2) {
+        usage();
+        return argc < 2 ? 1 : 0;
+    }
+    if (flag(argc, argv, "--list")) {
+        for (const AppProfile &app : benchmarkSuite()) {
+            std::printf("%-4s %-11s %s\n", app.id.c_str(),
+                        app.cacheSensitive ? "sensitive" : "insensitive",
+                        app.description.c_str());
+        }
+        return 0;
+    }
+
+    const char *app_id = arg(argc, argv, "--app");
+    const char *scheme_name = arg(argc, argv, "--scheme");
+    if (!app_id || !scheme_name) {
+        usage();
+        return 1;
+    }
+
+    GpuConfig cfg;
+    if (const char *v = arg(argc, argv, "--l1-kb"))
+        cfg.l1.sizeBytes = static_cast<std::uint32_t>(
+            std::strtoul(v, nullptr, 10) * 1024);
+    cfg.warmupCycles = 200000;
+    if (const char *v = arg(argc, argv, "--warmup"))
+        cfg.warmupCycles = std::strtoull(v, nullptr, 10);
+
+    RunnerOptions options;
+    options.simSms = 2;
+    options.maxCycles = 400000;
+    if (const char *v = arg(argc, argv, "--sms"))
+        options.simSms = static_cast<std::uint32_t>(
+            std::strtoul(v, nullptr, 10));
+    if (const char *v = arg(argc, argv, "--cycles"))
+        options.maxCycles = std::strtoull(v, nullptr, 10);
+    options.useMemoCache = !flag(argc, argv, "--no-cache");
+
+    SimRunner runner(cfg, LbConfig{}, options);
+    const AppProfile &app = appById(app_id);
+
+    SchemeConfig scheme;
+    const std::string name = scheme_name;
+    if (name == "baseline") {
+        scheme = SchemeConfig::baseline();
+    } else if (name == "best-swl") {
+        if (const char *v = arg(argc, argv, "--warp-limit")) {
+            scheme = SchemeConfig::bestSwl(static_cast<std::uint32_t>(
+                std::strtoul(v, nullptr, 10)));
+        } else {
+            const SwlOracleResult oracle = findBestSwl(runner, app);
+            std::fprintf(stderr, "oracle warp limit: %u\n",
+                         oracle.bestLimit);
+            scheme = SchemeConfig::bestSwl(oracle.bestLimit);
+        }
+    } else if (name == "ccws") {
+        scheme = SchemeConfig::ccws();
+    } else if (name == "pcal") {
+        scheme = SchemeConfig::pcal();
+    } else if (name == "cerf") {
+        scheme = SchemeConfig::cerf();
+    } else if (name == "linebacker" || name == "lb") {
+        scheme = SchemeConfig::linebacker();
+    } else if (name == "vc") {
+        scheme = SchemeConfig::victimCachingAll();
+    } else if (name == "svc") {
+        scheme = SchemeConfig::selectiveVictimCaching();
+    } else if (name == "pcal-svc") {
+        scheme = SchemeConfig::pcalSvc();
+    } else if (name == "pcal-cerf") {
+        scheme = SchemeConfig::pcalCerf();
+    } else if (name == "cache-ext") {
+        scheme = SchemeConfig::cacheExtension();
+    } else if (name == "lb-cache-ext") {
+        scheme = SchemeConfig::linebackerCacheExt();
+    } else {
+        std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name);
+        usage();
+        return 1;
+    }
+
+    const RunMetrics m = runner.run(app, scheme);
+    const SimStats &s = m.stats;
+
+    if (flag(argc, argv, "--csv")) {
+        std::printf("app,scheme,ipc,l1_hit,reg_hit,miss,bypass,"
+                    "dram_lines,energy_j,throttles\n");
+        const double total = static_cast<double>(s.l1.total());
+        std::printf("%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%.6e,%llu\n",
+                    app.id.c_str(), scheme.name.c_str(), m.ipc,
+                    s.l1.l1Hits / total, s.l1.regHits / total,
+                    s.l1.misses / total, s.l1.bypasses / total,
+                    static_cast<unsigned long long>(
+                        s.dramLineTransfers()),
+                    m.energyJ,
+                    static_cast<unsigned long long>(
+                        s.ctaThrottleEvents));
+        return 0;
+    }
+
+    std::printf("%s under %s\n", app.id.c_str(), scheme.name.c_str());
+    std::printf("  IPC                 %10.3f\n", m.ipc);
+    std::printf("  cycles measured     %10llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("  instructions        %10llu\n",
+                static_cast<unsigned long long>(s.instructionsIssued));
+    const double total = static_cast<double>(s.l1.total());
+    std::printf("  L1 hit / Reg hit    %9.1f%% /%6.1f%%\n",
+                100.0 * s.l1.l1Hits / total,
+                100.0 * s.l1.regHits / total);
+    std::printf("  miss / bypass       %9.1f%% /%6.1f%%\n",
+                100.0 * s.l1.misses / total,
+                100.0 * s.l1.bypasses / total);
+    std::printf("  avg load latency    %10.0f cycles\n",
+                s.avgLoadLatency());
+    std::printf("  DRAM line transfers %10llu (backup %llu, restore "
+                "%llu)\n",
+                static_cast<unsigned long long>(s.dramLineTransfers()),
+                static_cast<unsigned long long>(s.dramBackupWrites),
+                static_cast<unsigned long long>(s.dramRestoreReads));
+    std::printf("  RF bank conflicts   %10llu\n",
+                static_cast<unsigned long long>(s.rfBankConflicts));
+    std::printf("  CTA throttle/activ. %6llu / %llu\n",
+                static_cast<unsigned long long>(s.ctaThrottleEvents),
+                static_cast<unsigned long long>(s.ctaActivateEvents));
+    std::printf("  victim stored/hits  %6llu / %llu\n",
+                static_cast<unsigned long long>(s.victimLinesStored),
+                static_cast<unsigned long long>(s.l1.regHits));
+    std::printf("  energy              %10.4f J\n", m.energyJ);
+    return 0;
+}
