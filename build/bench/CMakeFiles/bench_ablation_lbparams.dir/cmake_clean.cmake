@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lbparams.dir/bench_ablation_lbparams.cpp.o"
+  "CMakeFiles/bench_ablation_lbparams.dir/bench_ablation_lbparams.cpp.o.d"
+  "bench_ablation_lbparams"
+  "bench_ablation_lbparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lbparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

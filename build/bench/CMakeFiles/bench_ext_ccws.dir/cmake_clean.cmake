@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ccws.dir/bench_ext_ccws.cpp.o"
+  "CMakeFiles/bench_ext_ccws.dir/bench_ext_ccws.cpp.o.d"
+  "bench_ext_ccws"
+  "bench_ext_ccws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ccws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

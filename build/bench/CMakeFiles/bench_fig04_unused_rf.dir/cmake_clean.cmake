@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_unused_rf.dir/bench_fig04_unused_rf.cpp.o"
+  "CMakeFiles/bench_fig04_unused_rf.dir/bench_fig04_unused_rf.cpp.o.d"
+  "bench_fig04_unused_rf"
+  "bench_fig04_unused_rf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_unused_rf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_cache_ext.dir/bench_fig05_cache_ext.cpp.o"
+  "CMakeFiles/bench_fig05_cache_ext.dir/bench_fig05_cache_ext.cpp.o.d"
+  "bench_fig05_cache_ext"
+  "bench_fig05_cache_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cache_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_vtt_assoc.dir/bench_fig10_vtt_assoc.cpp.o"
+  "CMakeFiles/bench_fig10_vtt_assoc.dir/bench_fig10_vtt_assoc.cpp.o.d"
+  "bench_fig10_vtt_assoc"
+  "bench_fig10_vtt_assoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_vtt_assoc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

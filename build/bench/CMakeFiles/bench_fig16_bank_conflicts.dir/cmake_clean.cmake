@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_bank_conflicts.dir/bench_fig16_bank_conflicts.cpp.o"
+  "CMakeFiles/bench_fig16_bank_conflicts.dir/bench_fig16_bank_conflicts.cpp.o.d"
+  "bench_fig16_bank_conflicts"
+  "bench_fig16_bank_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_bank_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lbconfig.dir/bench_table3_lbconfig.cpp.o"
+  "CMakeFiles/bench_table3_lbconfig.dir/bench_table3_lbconfig.cpp.o.d"
+  "bench_table3_lbconfig"
+  "bench_table3_lbconfig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lbconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/victim_cache_anatomy.dir/victim_cache_anatomy.cpp.o"
+  "CMakeFiles/victim_cache_anatomy.dir/victim_cache_anatomy.cpp.o.d"
+  "victim_cache_anatomy"
+  "victim_cache_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/victim_cache_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

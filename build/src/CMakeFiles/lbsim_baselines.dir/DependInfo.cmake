@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ccws.cpp" "src/CMakeFiles/lbsim_baselines.dir/baselines/ccws.cpp.o" "gcc" "src/CMakeFiles/lbsim_baselines.dir/baselines/ccws.cpp.o.d"
+  "/root/repo/src/baselines/cerf.cpp" "src/CMakeFiles/lbsim_baselines.dir/baselines/cerf.cpp.o" "gcc" "src/CMakeFiles/lbsim_baselines.dir/baselines/cerf.cpp.o.d"
+  "/root/repo/src/baselines/pcal.cpp" "src/CMakeFiles/lbsim_baselines.dir/baselines/pcal.cpp.o" "gcc" "src/CMakeFiles/lbsim_baselines.dir/baselines/pcal.cpp.o.d"
+  "/root/repo/src/baselines/static_warp_limiter.cpp" "src/CMakeFiles/lbsim_baselines.dir/baselines/static_warp_limiter.cpp.o" "gcc" "src/CMakeFiles/lbsim_baselines.dir/baselines/static_warp_limiter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_baselines.dir/baselines/ccws.cpp.o"
+  "CMakeFiles/lbsim_baselines.dir/baselines/ccws.cpp.o.d"
+  "CMakeFiles/lbsim_baselines.dir/baselines/cerf.cpp.o"
+  "CMakeFiles/lbsim_baselines.dir/baselines/cerf.cpp.o.d"
+  "CMakeFiles/lbsim_baselines.dir/baselines/pcal.cpp.o"
+  "CMakeFiles/lbsim_baselines.dir/baselines/pcal.cpp.o.d"
+  "CMakeFiles/lbsim_baselines.dir/baselines/static_warp_limiter.cpp.o"
+  "CMakeFiles/lbsim_baselines.dir/baselines/static_warp_limiter.cpp.o.d"
+  "liblbsim_baselines.a"
+  "liblbsim_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_common.dir/common/config.cpp.o"
+  "CMakeFiles/lbsim_common.dir/common/config.cpp.o.d"
+  "CMakeFiles/lbsim_common.dir/common/log.cpp.o"
+  "CMakeFiles/lbsim_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/lbsim_common.dir/common/stats.cpp.o"
+  "CMakeFiles/lbsim_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/lbsim_common.dir/common/table.cpp.o"
+  "CMakeFiles/lbsim_common.dir/common/table.cpp.o.d"
+  "liblbsim_common.a"
+  "liblbsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cta_dispatcher.cpp" "src/CMakeFiles/lbsim_core.dir/core/cta_dispatcher.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/cta_dispatcher.cpp.o.d"
+  "/root/repo/src/core/gpu.cpp" "src/CMakeFiles/lbsim_core.dir/core/gpu.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/gpu.cpp.o.d"
+  "/root/repo/src/core/kernel.cpp" "src/CMakeFiles/lbsim_core.dir/core/kernel.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/kernel.cpp.o.d"
+  "/root/repo/src/core/ldst_unit.cpp" "src/CMakeFiles/lbsim_core.dir/core/ldst_unit.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/ldst_unit.cpp.o.d"
+  "/root/repo/src/core/register_file.cpp" "src/CMakeFiles/lbsim_core.dir/core/register_file.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/register_file.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/CMakeFiles/lbsim_core.dir/core/scheduler.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/scheduler.cpp.o.d"
+  "/root/repo/src/core/sm.cpp" "src/CMakeFiles/lbsim_core.dir/core/sm.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/sm.cpp.o.d"
+  "/root/repo/src/core/warp.cpp" "src/CMakeFiles/lbsim_core.dir/core/warp.cpp.o" "gcc" "src/CMakeFiles/lbsim_core.dir/core/warp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_core.dir/core/cta_dispatcher.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/cta_dispatcher.cpp.o.d"
+  "CMakeFiles/lbsim_core.dir/core/gpu.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/gpu.cpp.o.d"
+  "CMakeFiles/lbsim_core.dir/core/kernel.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/kernel.cpp.o.d"
+  "CMakeFiles/lbsim_core.dir/core/ldst_unit.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/ldst_unit.cpp.o.d"
+  "CMakeFiles/lbsim_core.dir/core/register_file.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/register_file.cpp.o.d"
+  "CMakeFiles/lbsim_core.dir/core/scheduler.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/scheduler.cpp.o.d"
+  "CMakeFiles/lbsim_core.dir/core/sm.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/sm.cpp.o.d"
+  "CMakeFiles/lbsim_core.dir/core/warp.cpp.o"
+  "CMakeFiles/lbsim_core.dir/core/warp.cpp.o.d"
+  "liblbsim_core.a"
+  "liblbsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

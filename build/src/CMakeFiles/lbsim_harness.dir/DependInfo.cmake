@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harness/characterize.cpp" "src/CMakeFiles/lbsim_harness.dir/harness/characterize.cpp.o" "gcc" "src/CMakeFiles/lbsim_harness.dir/harness/characterize.cpp.o.d"
+  "/root/repo/src/harness/memo_cache.cpp" "src/CMakeFiles/lbsim_harness.dir/harness/memo_cache.cpp.o" "gcc" "src/CMakeFiles/lbsim_harness.dir/harness/memo_cache.cpp.o.d"
+  "/root/repo/src/harness/oracle.cpp" "src/CMakeFiles/lbsim_harness.dir/harness/oracle.cpp.o" "gcc" "src/CMakeFiles/lbsim_harness.dir/harness/oracle.cpp.o.d"
+  "/root/repo/src/harness/report.cpp" "src/CMakeFiles/lbsim_harness.dir/harness/report.cpp.o" "gcc" "src/CMakeFiles/lbsim_harness.dir/harness/report.cpp.o.d"
+  "/root/repo/src/harness/sim_runner.cpp" "src/CMakeFiles/lbsim_harness.dir/harness/sim_runner.cpp.o" "gcc" "src/CMakeFiles/lbsim_harness.dir/harness/sim_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsim_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_harness.dir/harness/characterize.cpp.o"
+  "CMakeFiles/lbsim_harness.dir/harness/characterize.cpp.o.d"
+  "CMakeFiles/lbsim_harness.dir/harness/memo_cache.cpp.o"
+  "CMakeFiles/lbsim_harness.dir/harness/memo_cache.cpp.o.d"
+  "CMakeFiles/lbsim_harness.dir/harness/oracle.cpp.o"
+  "CMakeFiles/lbsim_harness.dir/harness/oracle.cpp.o.d"
+  "CMakeFiles/lbsim_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/lbsim_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/lbsim_harness.dir/harness/sim_runner.cpp.o"
+  "CMakeFiles/lbsim_harness.dir/harness/sim_runner.cpp.o.d"
+  "liblbsim_harness.a"
+  "liblbsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

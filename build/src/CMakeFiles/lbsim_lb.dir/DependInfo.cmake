@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lb/backup_engine.cpp" "src/CMakeFiles/lbsim_lb.dir/lb/backup_engine.cpp.o" "gcc" "src/CMakeFiles/lbsim_lb.dir/lb/backup_engine.cpp.o.d"
+  "/root/repo/src/lb/linebacker.cpp" "src/CMakeFiles/lbsim_lb.dir/lb/linebacker.cpp.o" "gcc" "src/CMakeFiles/lbsim_lb.dir/lb/linebacker.cpp.o.d"
+  "/root/repo/src/lb/load_monitor.cpp" "src/CMakeFiles/lbsim_lb.dir/lb/load_monitor.cpp.o" "gcc" "src/CMakeFiles/lbsim_lb.dir/lb/load_monitor.cpp.o.d"
+  "/root/repo/src/lb/throttle_logic.cpp" "src/CMakeFiles/lbsim_lb.dir/lb/throttle_logic.cpp.o" "gcc" "src/CMakeFiles/lbsim_lb.dir/lb/throttle_logic.cpp.o.d"
+  "/root/repo/src/lb/victim_tag_table.cpp" "src/CMakeFiles/lbsim_lb.dir/lb/victim_tag_table.cpp.o" "gcc" "src/CMakeFiles/lbsim_lb.dir/lb/victim_tag_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_lb.dir/lb/backup_engine.cpp.o"
+  "CMakeFiles/lbsim_lb.dir/lb/backup_engine.cpp.o.d"
+  "CMakeFiles/lbsim_lb.dir/lb/linebacker.cpp.o"
+  "CMakeFiles/lbsim_lb.dir/lb/linebacker.cpp.o.d"
+  "CMakeFiles/lbsim_lb.dir/lb/load_monitor.cpp.o"
+  "CMakeFiles/lbsim_lb.dir/lb/load_monitor.cpp.o.d"
+  "CMakeFiles/lbsim_lb.dir/lb/throttle_logic.cpp.o"
+  "CMakeFiles/lbsim_lb.dir/lb/throttle_logic.cpp.o.d"
+  "CMakeFiles/lbsim_lb.dir/lb/victim_tag_table.cpp.o"
+  "CMakeFiles/lbsim_lb.dir/lb/victim_tag_table.cpp.o.d"
+  "liblbsim_lb.a"
+  "liblbsim_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

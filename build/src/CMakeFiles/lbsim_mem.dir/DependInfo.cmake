@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/lbsim_mem.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/lbsim_mem.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/interconnect.cpp" "src/CMakeFiles/lbsim_mem.dir/mem/interconnect.cpp.o" "gcc" "src/CMakeFiles/lbsim_mem.dir/mem/interconnect.cpp.o.d"
+  "/root/repo/src/mem/l1_cache.cpp" "src/CMakeFiles/lbsim_mem.dir/mem/l1_cache.cpp.o" "gcc" "src/CMakeFiles/lbsim_mem.dir/mem/l1_cache.cpp.o.d"
+  "/root/repo/src/mem/l2_cache.cpp" "src/CMakeFiles/lbsim_mem.dir/mem/l2_cache.cpp.o" "gcc" "src/CMakeFiles/lbsim_mem.dir/mem/l2_cache.cpp.o.d"
+  "/root/repo/src/mem/memory_partition.cpp" "src/CMakeFiles/lbsim_mem.dir/mem/memory_partition.cpp.o" "gcc" "src/CMakeFiles/lbsim_mem.dir/mem/memory_partition.cpp.o.d"
+  "/root/repo/src/mem/mshr.cpp" "src/CMakeFiles/lbsim_mem.dir/mem/mshr.cpp.o" "gcc" "src/CMakeFiles/lbsim_mem.dir/mem/mshr.cpp.o.d"
+  "/root/repo/src/mem/tag_array.cpp" "src/CMakeFiles/lbsim_mem.dir/mem/tag_array.cpp.o" "gcc" "src/CMakeFiles/lbsim_mem.dir/mem/tag_array.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

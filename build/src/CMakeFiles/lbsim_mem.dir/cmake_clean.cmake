@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_mem.dir/mem/dram.cpp.o"
+  "CMakeFiles/lbsim_mem.dir/mem/dram.cpp.o.d"
+  "CMakeFiles/lbsim_mem.dir/mem/interconnect.cpp.o"
+  "CMakeFiles/lbsim_mem.dir/mem/interconnect.cpp.o.d"
+  "CMakeFiles/lbsim_mem.dir/mem/l1_cache.cpp.o"
+  "CMakeFiles/lbsim_mem.dir/mem/l1_cache.cpp.o.d"
+  "CMakeFiles/lbsim_mem.dir/mem/l2_cache.cpp.o"
+  "CMakeFiles/lbsim_mem.dir/mem/l2_cache.cpp.o.d"
+  "CMakeFiles/lbsim_mem.dir/mem/memory_partition.cpp.o"
+  "CMakeFiles/lbsim_mem.dir/mem/memory_partition.cpp.o.d"
+  "CMakeFiles/lbsim_mem.dir/mem/mshr.cpp.o"
+  "CMakeFiles/lbsim_mem.dir/mem/mshr.cpp.o.d"
+  "CMakeFiles/lbsim_mem.dir/mem/tag_array.cpp.o"
+  "CMakeFiles/lbsim_mem.dir/mem/tag_array.cpp.o.d"
+  "liblbsim_mem.a"
+  "liblbsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

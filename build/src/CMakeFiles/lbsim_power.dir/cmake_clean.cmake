@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_power.dir/power/energy_model.cpp.o"
+  "CMakeFiles/lbsim_power.dir/power/energy_model.cpp.o.d"
+  "liblbsim_power.a"
+  "liblbsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

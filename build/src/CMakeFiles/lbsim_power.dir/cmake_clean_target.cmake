@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblbsim_power.a"
+)

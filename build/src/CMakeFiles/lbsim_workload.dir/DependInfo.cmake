@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profile.cpp" "src/CMakeFiles/lbsim_workload.dir/workload/app_profile.cpp.o" "gcc" "src/CMakeFiles/lbsim_workload.dir/workload/app_profile.cpp.o.d"
+  "/root/repo/src/workload/pattern.cpp" "src/CMakeFiles/lbsim_workload.dir/workload/pattern.cpp.o" "gcc" "src/CMakeFiles/lbsim_workload.dir/workload/pattern.cpp.o.d"
+  "/root/repo/src/workload/suite.cpp" "src/CMakeFiles/lbsim_workload.dir/workload/suite.cpp.o" "gcc" "src/CMakeFiles/lbsim_workload.dir/workload/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_workload.dir/workload/app_profile.cpp.o"
+  "CMakeFiles/lbsim_workload.dir/workload/app_profile.cpp.o.d"
+  "CMakeFiles/lbsim_workload.dir/workload/pattern.cpp.o"
+  "CMakeFiles/lbsim_workload.dir/workload/pattern.cpp.o.d"
+  "CMakeFiles/lbsim_workload.dir/workload/suite.cpp.o"
+  "CMakeFiles/lbsim_workload.dir/workload/suite.cpp.o.d"
+  "liblbsim_workload.a"
+  "liblbsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

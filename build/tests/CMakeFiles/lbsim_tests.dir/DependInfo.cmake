@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_backup_engine.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_backup_engine.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_backup_engine.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_ccws.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_ccws.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_ccws.cpp.o.d"
+  "/root/repo/tests/test_characterize.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_characterize.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_characterize.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_dram.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_dram.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_dram.cpp.o.d"
+  "/root/repo/tests/test_energy.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_energy.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_energy.cpp.o.d"
+  "/root/repo/tests/test_gpu_integration.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_gpu_integration.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_gpu_integration.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_interconnect.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_interconnect.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_interconnect.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_l1_cache.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_l1_cache.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_l1_cache.cpp.o.d"
+  "/root/repo/tests/test_l2_partition.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_l2_partition.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_l2_partition.cpp.o.d"
+  "/root/repo/tests/test_ldst_unit.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_ldst_unit.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_ldst_unit.cpp.o.d"
+  "/root/repo/tests/test_linebacker.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_linebacker.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_linebacker.cpp.o.d"
+  "/root/repo/tests/test_load_monitor.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_load_monitor.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_load_monitor.cpp.o.d"
+  "/root/repo/tests/test_mshr.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_mshr.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_mshr.cpp.o.d"
+  "/root/repo/tests/test_patterns.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_patterns.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_patterns.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_register_file.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_register_file.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_register_file.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sm_integration.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_sm_integration.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_sm_integration.cpp.o.d"
+  "/root/repo/tests/test_suite_apps.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_suite_apps.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_suite_apps.cpp.o.d"
+  "/root/repo/tests/test_tag_array.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_tag_array.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_tag_array.cpp.o.d"
+  "/root/repo/tests/test_throttle_logic.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_throttle_logic.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_throttle_logic.cpp.o.d"
+  "/root/repo/tests/test_vtt.cpp" "tests/CMakeFiles/lbsim_tests.dir/test_vtt.cpp.o" "gcc" "tests/CMakeFiles/lbsim_tests.dir/test_vtt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lbsim_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_lb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lbsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

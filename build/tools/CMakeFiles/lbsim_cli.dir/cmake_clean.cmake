@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbsim_cli.dir/lbsim_cli.cpp.o"
+  "CMakeFiles/lbsim_cli.dir/lbsim_cli.cpp.o.d"
+  "lbsim_cli"
+  "lbsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
