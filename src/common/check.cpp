@@ -1,0 +1,147 @@
+#include "common/check.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace lbsim
+{
+
+namespace
+{
+
+CheckContext g_context;
+std::function<std::string()> g_stateDump;
+CheckFailureHandler g_handler;
+
+} // namespace
+
+CheckContext &
+checkContext()
+{
+    return g_context;
+}
+
+CheckScope::CheckScope(Cycle cycle, std::uint32_t sm_id,
+                       std::uint32_t warp_id)
+    : saved_(g_context)
+{
+    if (cycle != kNoCycle)
+        g_context.cycle = cycle;
+    if (sm_id != kNoId)
+        g_context.smId = sm_id;
+    if (warp_id != kNoId)
+        g_context.warpId = warp_id;
+}
+
+CheckScope::~CheckScope()
+{
+    g_context = saved_;
+}
+
+StateDumpScope::StateDumpScope(std::function<std::string()> provider)
+    : saved_(std::move(g_stateDump))
+{
+    g_stateDump = std::move(provider);
+}
+
+StateDumpScope::~StateDumpScope()
+{
+    g_stateDump = std::move(saved_);
+}
+
+CheckFailureHandler
+setCheckFailureHandler(CheckFailureHandler handler)
+{
+    CheckFailureHandler previous = std::move(g_handler);
+    g_handler = std::move(handler);
+    return previous;
+}
+
+std::string
+formatCheckReport(const CheckFailure &failure)
+{
+    std::string report;
+    report += "lbsim check failed [";
+    report += failure.kind;
+    report += "]: ";
+    report += failure.expr;
+    report += "\n  ";
+    report += failure.message;
+    report += "\n  at ";
+    report += failure.file;
+    report += ":";
+    report += std::to_string(failure.line);
+    report += " (";
+    report += failure.func;
+    report += ")";
+
+    report += "\n  context: cycle=";
+    report += failure.context.cycle == kNoCycle
+        ? "?"
+        : std::to_string(failure.context.cycle);
+    report += " sm=";
+    report += failure.context.smId == kNoId
+        ? "?"
+        : std::to_string(failure.context.smId);
+    report += " warp=";
+    report += failure.context.warpId == kNoId
+        ? "?"
+        : std::to_string(failure.context.warpId);
+
+    if (!failure.stateDump.empty()) {
+        report += "\n  state:\n";
+        // Indent each dump line under the "state:" header.
+        std::string indented = "    ";
+        for (char c : failure.stateDump) {
+            indented += c;
+            if (c == '\n')
+                indented += "    ";
+        }
+        if (indented.size() >= 4 &&
+            indented.compare(indented.size() - 4, 4, "    ") == 0) {
+            indented.erase(indented.size() - 4);
+        }
+        report += indented;
+    }
+    return report;
+}
+
+namespace detail
+{
+
+void
+checkFailed(const char *kind, const char *expr, const char *file, int line,
+            const char *func, const char *fmt, ...)
+{
+    CheckFailure failure;
+    failure.kind = kind;
+    failure.expr = expr;
+    failure.file = file;
+    failure.line = line;
+    failure.func = func;
+    failure.context = g_context;
+
+    char buf[1024];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    failure.message = buf;
+
+    if (g_stateDump)
+        failure.stateDump = g_stateDump();
+
+    if (g_handler) {
+        g_handler(failure);
+        return;
+    }
+    std::fputs(formatCheckReport(failure).c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+} // namespace detail
+
+} // namespace lbsim

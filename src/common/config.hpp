@@ -88,6 +88,13 @@ struct GpuConfig
      */
     Cycle warmupCycles = 0;
 
+    /**
+     * Cycle stride between structural audits when full checks are
+     * compiled in (LBSIM_CHECKS=full); 0 disables the periodic audits.
+     * Purely a debugging knob — no architectural effect.
+     */
+    Cycle auditStride = 8192;
+
     /** Warp registers (128 B each) in the register file. */
     std::uint32_t
     totalWarpRegisters() const

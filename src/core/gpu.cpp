@@ -1,5 +1,6 @@
 #include "core/gpu.hpp"
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace lbsim
@@ -45,7 +46,22 @@ Gpu::tick()
         sm->tick(now_);
     if (dispatcher_)
         dispatcher_->tick(now_);
+    if constexpr (checksEnabled(CheckLevel::Full)) {
+        if (cfg_.auditStride != 0 && now_ % cfg_.auditStride == 0)
+            audit();
+    }
     ++now_;
+}
+
+void
+Gpu::audit() const
+{
+    CheckScope scope(now_);
+    for (const auto &partition : partitions_)
+        partition->audit(now_);
+    icnt_->audit(now_);
+    for (const auto &sm : sms_)
+        sm->audit(now_);
 }
 
 bool
@@ -93,6 +109,13 @@ Gpu::runKernel(const KernelInfo &kernel)
     const Cycle deadline = now_ + cfg_.maxCycles;
     while (now_ < deadline && !done())
         tick();
+
+    // A drained grid must leave no request in flight anywhere; a run
+    // that merely exhausted its budget legitimately has some.
+    if (done()) {
+        CheckScope scope(now_);
+        icnt_->auditDrained();
+    }
 
     finalizeStats();
     return stats_;

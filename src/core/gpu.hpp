@@ -67,6 +67,13 @@ class Gpu
     /** True once every launched CTA retired and the grid drained. */
     bool done() const;
 
+    /**
+     * Run every subsystem auditor (SMs, interconnect, memory
+     * partitions). Called on cfg.auditStride in full-check builds;
+     * callable directly from tests at any check level.
+     */
+    void audit() const;
+
     /** Fold per-SM occupancy accumulators into stats (idempotent-safe). */
     void finalizeStats();
 

@@ -1,5 +1,8 @@
 #include "core/register_file.hpp"
 
+#include <cstdio>
+
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace lbsim
@@ -76,6 +79,7 @@ RegisterFile::beginCycle(Cycle now)
 std::uint32_t
 RegisterFile::chargeBank(std::uint32_t bank)
 {
+    LB_ASSERT(bank < numBanks_, "bank %u out of %u", bank, numBanks_);
     ++stats_->rfAccesses;
     const std::uint8_t prior = bankUse_[bank];
     if (bankUse_[bank] < 255)
@@ -113,6 +117,53 @@ RegisterFile::arbitrateLine(Addr line_addr, bool is_write, Cycle now)
     (void)now;
     return chargeBank(static_cast<std::uint32_t>(lineIndex(line_addr) %
                                                  numBanks_));
+}
+
+void
+RegisterFile::audit() const
+{
+    StateDumpScope dump([this] { return debugString(); });
+    std::uint32_t set_bits = 0;
+    for (bool bit : allocated_)
+        set_bits += bit ? 1 : 0;
+    LB_AUDIT(set_bits == allocatedRegs_,
+             "allocation counter %u disagrees with bitmap population %u",
+             allocatedRegs_, set_bits);
+    LB_AUDIT(allocatedRegs_ <= totalRegs_,
+             "allocation counter %u exceeds register file size %u",
+             allocatedRegs_, totalRegs_);
+}
+
+std::string
+RegisterFile::debugString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "RegisterFile: %u/%u allocated, %u banks\n",
+                  allocatedRegs_, totalRegs_, numBanks_);
+    std::string out = buf;
+    // Render the bitmap as allocated runs; full dumps are 2048 wide.
+    std::uint32_t run_start = 0;
+    bool in_run = false;
+    for (std::uint32_t rn = 0; rn <= totalRegs_; ++rn) {
+        const bool bit = rn < totalRegs_ && allocated_[rn];
+        if (bit && !in_run) {
+            run_start = rn;
+            in_run = true;
+        } else if (!bit && in_run) {
+            std::snprintf(buf, sizeof(buf), "allocated [%u, %u)\n",
+                          run_start, rn);
+            out += buf;
+            in_run = false;
+        }
+    }
+    return out;
+}
+
+void
+RegisterFile::corruptAllocCounterForTest(std::uint32_t delta)
+{
+    allocatedRegs_ += delta;
 }
 
 } // namespace lbsim

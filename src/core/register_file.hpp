@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -81,6 +82,21 @@ class RegisterFile : public BankArbiterIf
     {
         return reg % numBanks_;
     }
+
+    /**
+     * Conservation auditor: the allocated-register counter must equal
+     * the population count of the allocation bitmap.
+     */
+    void audit() const;
+
+    /** Allocation summary for failure reports. */
+    std::string debugString() const;
+
+    /**
+     * Force the allocation counter out of sync so tests can prove the
+     * auditor trips. Never call from simulator code.
+     */
+    void corruptAllocCounterForTest(std::uint32_t delta);
 
   private:
     /** Charge one access to @p bank; returns conflict delay. */

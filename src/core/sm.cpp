@@ -1,7 +1,9 @@
 #include "core/sm.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace lbsim
@@ -271,6 +273,7 @@ Sm::retireFinishedCtas(Cycle now)
 void
 Sm::tick(Cycle now)
 {
+    CheckScope scope(now, id_);
     rf_.beginCycle(now);
     if (controller_)
         controller_->onCycle(*this, now);
@@ -359,6 +362,93 @@ Sm::idle() const
             return false;
     }
     return true;
+}
+
+void
+Sm::audit(Cycle now) const
+{
+    CheckScope scope(now, id_);
+    rf_.audit();
+    // Generous fill-latency bound: two interconnect hops, the L2 lookup,
+    // and heavily congested DRAM queues stay well inside it.
+    l1_->audit(now, 4 * (2 * cfg_.icntLatency + cfg_.l2Latency + 25000));
+
+    StateDumpScope dump([this] { return debugString(); });
+
+    // CTA register footprints and the register file must agree exactly:
+    // CTAs are the only allocator.
+    std::uint32_t cta_regs = 0;
+    std::uint32_t warps_expected = 0;
+    for (const Cta &cta : ctas_) {
+        if (!cta.valid)
+            continue;
+        cta_regs += cta.numRegs;
+        warps_expected += static_cast<std::uint32_t>(cta.warpSlots.size());
+        LB_AUDIT(rf_.isAllocated(cta.firstRegNum, cta.numRegs),
+                 "CTA %u claims registers [%u, %u) but the register file "
+                 "has them free",
+                 cta.hwId, cta.firstRegNum, cta.firstRegNum + cta.numRegs);
+        LB_AUDIT(cta.warpsFinished <= cta.warpSlots.size(),
+                 "CTA %u finished %u of %zu warps", cta.hwId,
+                 cta.warpsFinished, cta.warpSlots.size());
+        for (std::uint32_t warp_slot : cta.warpSlots) {
+            LB_AUDIT(warp_slot < warps_.size(),
+                     "CTA %u references warp slot %u out of range",
+                     cta.hwId, warp_slot);
+            const Warp &warp = warps_[warp_slot];
+            LB_AUDIT(warp.valid && warp.ctaHwId == cta.hwId,
+                     "warp slot %u should belong to CTA %u but is "
+                     "valid=%d cta=%u",
+                     warp_slot, cta.hwId, warp.valid ? 1 : 0,
+                     warp.ctaHwId);
+            LB_AUDIT(warp.finished || warp.active == cta.active,
+                     "warp slot %u active bit %d disagrees with CTA %u "
+                     "active bit %d",
+                     warp_slot, warp.active ? 1 : 0, cta.hwId,
+                     cta.active ? 1 : 0);
+        }
+    }
+    LB_AUDIT(cta_regs == rf_.allocatedRegs(),
+             "resident CTAs own %u registers but the register file has "
+             "%u allocated",
+             cta_regs, rf_.allocatedRegs());
+
+    std::uint32_t warps_valid = 0;
+    for (const Warp &warp : warps_) {
+        if (!warp.valid)
+            continue;
+        ++warps_valid;
+        LB_AUDIT(warp.ctaHwId < ctas_.size() &&
+                     ctas_[warp.ctaHwId].valid,
+                 "valid warp slot %u belongs to invalid CTA %u",
+                 warp.smWarpId, warp.ctaHwId);
+    }
+    LB_AUDIT(warps_valid == warps_expected,
+             "%u valid warps but CTA tables reference %u", warps_valid,
+             warps_expected);
+}
+
+std::string
+Sm::debugString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "Sm %u: %zu CTA slots, %zu warp slots, rf %u/%u\n",
+                  id_, ctas_.size(), warps_.size(), rf_.allocatedRegs(),
+                  rf_.totalRegs());
+    std::string out = buf;
+    for (const Cta &cta : ctas_) {
+        if (!cta.valid)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "cta=%u global=%u active=%d regs=[%u,%u) warps=%zu "
+                      "finished=%u\n",
+                      cta.hwId, cta.globalId, cta.active ? 1 : 0,
+                      cta.firstRegNum, cta.firstRegNum + cta.numRegs,
+                      cta.warpSlots.size(), cta.warpsFinished);
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace lbsim

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -178,6 +179,17 @@ class Sm : public ResponseSinkIf
 
     /** All resident warps finished and retired. */
     bool idle() const;
+
+    /**
+     * Per-SM auditor: register-file bitmap conservation, the warp/CTA
+     * tables cross-referencing each other, the CTA register footprint
+     * matching the register-file allocation exactly, and the L1
+     * (tags + MSHRs + pending fills) being internally consistent.
+     */
+    void audit(Cycle now) const;
+
+    /** Warp/CTA table summary for failure reports. */
+    std::string debugString() const;
 
     /** Clear time-integrated occupancy accumulators (warm-up reset). */
     void resetOccupancyAccumulators();

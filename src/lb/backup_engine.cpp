@@ -1,5 +1,8 @@
 #include "lb/backup_engine.hpp"
 
+#include <cstdio>
+
+#include "common/check.hpp"
 #include "common/log.hpp"
 #include "core/sm.hpp"
 
@@ -135,6 +138,79 @@ BackupEngine::onResponse(const MemResponse &response, Cycle now)
         panic("restore response for unknown job");
     ++job->second.linesDone;
     pendingRestores_.erase(it);
+}
+
+void
+BackupEngine::audit(Cycle now) const
+{
+    (void)now;
+    StateDumpScope dump([this] { return debugString(); });
+
+    LB_AUDIT(buffer_.size() <= lb_.backupBufferEntries,
+             "staging buffer holds %zu entries, capacity is %u",
+             buffer_.size(), lb_.backupBufferEntries);
+
+    // Count where every job's lines currently sit.
+    std::unordered_map<std::uint32_t, std::uint32_t> in_flight;
+    for (const Transfer &transfer : pendingLines_)
+        ++in_flight[transfer.ctaHwId];
+    for (const Transfer &transfer : buffer_)
+        ++in_flight[transfer.ctaHwId];
+    for (const auto &[addr, cta] : pendingRestores_) {
+        ++in_flight[cta];
+        const auto it = jobs_.find(cta);
+        LB_AUDIT(it != jobs_.end() && !it->second.isBackup,
+                 "outstanding restore for address %llx names CTA %u "
+                 "which has no restore job",
+                 static_cast<unsigned long long>(addr), cta);
+    }
+
+    for (const auto &[cta, job] : jobs_) {
+        LB_AUDIT(job.linesDone <= job.linesTotal,
+                 "CTA %u job finished %u of %u lines", cta, job.linesDone,
+                 job.linesTotal);
+        const std::uint32_t pending =
+            in_flight.count(cta) ? in_flight.at(cta) : 0;
+        LB_AUDIT(job.linesDone + pending == job.linesTotal,
+                 "CTA %u %s job lost a register line: %u done + %u in "
+                 "flight != %u total",
+                 cta, job.isBackup ? "backup" : "restore", job.linesDone,
+                 pending, job.linesTotal);
+    }
+
+    // Queued lines with no job would leak staging-buffer slots forever.
+    for (const auto &[cta, count] : in_flight) {
+        LB_AUDIT(jobs_.count(cta) != 0,
+                 "%u in-flight register lines belong to CTA %u which has "
+                 "no job",
+                 count, cta);
+    }
+}
+
+std::string
+BackupEngine::debugString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "BackupEngine: %zu queued, %zu/%u buffered, %zu "
+                  "restores outstanding\n",
+                  pendingLines_.size(), buffer_.size(),
+                  lb_.backupBufferEntries, pendingRestores_.size());
+    std::string out = buf;
+    for (const auto &[cta, job] : jobs_) {
+        std::snprintf(buf, sizeof(buf), "cta=%u %s %u/%u lines\n", cta,
+                      job.isBackup ? "backup" : "restore", job.linesDone,
+                      job.linesTotal);
+        out += buf;
+    }
+    return out;
+}
+
+void
+BackupEngine::tamperJobForTest(std::uint32_t cta_hw_id,
+                               std::uint32_t delta)
+{
+    jobs_[cta_hw_id].linesTotal += delta;
 }
 
 } // namespace lbsim

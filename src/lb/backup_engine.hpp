@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -60,6 +61,25 @@ class BackupEngine : public ResponseSinkIf
 
     /** RegRestore data arrived. */
     void onResponse(const MemResponse &response, Cycle now) override;
+
+    /**
+     * Conservation auditor: the staging buffer respects its configured
+     * capacity, per job linesDone + queued lines + buffered lines +
+     * outstanding restore responses equals linesTotal (no register line
+     * is lost or duplicated in flight), and every outstanding restore
+     * response belongs to a restore job.
+     */
+    void audit(Cycle now) const;
+
+    /** Job/queue summary for failure reports. */
+    std::string debugString() const;
+
+    /**
+     * Drop the accounting for one already-issued line of @p cta_hw_id's
+     * job so tests can fabricate a conservation violation. Never call
+     * from simulator code.
+     */
+    void tamperJobForTest(std::uint32_t cta_hw_id, std::uint32_t delta);
 
   private:
     struct Transfer

@@ -2,6 +2,7 @@
 #include <cstdlib>
 #include "lb/linebacker.hpp"
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace lbsim
@@ -132,6 +133,46 @@ Linebacker::onCycle(Sm &sm, Cycle now)
     // monitoring tag SRAM holds no data).
     if (!vtt_.tagOnlyMode())
         victimRegAccum_ += vtt_.capacityLines();
+
+    if constexpr (checksEnabled(CheckLevel::Full)) {
+        if (gpu_.auditStride != 0 && now % gpu_.auditStride == 0)
+            audit(sm, now);
+    }
+}
+
+void
+Linebacker::audit(const Sm &sm, Cycle now) const
+{
+    CheckScope scope(now, sm.id());
+    vtt_.audit(now);
+    engine_->audit(now);
+    ctaMgr_.audit();
+
+    // Victim lines live in idle registers; the VTT must never claim more
+    // space than the register file actually has idle. Transfers in
+    // flight transiently blur the boundary, so only settled states are
+    // checked.
+    if (phase_ == Phase::Active && !vtt_.tagOnlyMode() &&
+        backupWaitCta_ < 0 && restoreWaitCta_ < 0) {
+        LB_AUDIT(vtt_.capacityLines() <= availableVictimRegs(sm),
+                 "VTT claims %u victim lines but only %u idle registers "
+                 "back them",
+                 vtt_.capacityLines(), availableVictimRegs(sm));
+    }
+
+    // The CTA manager's act bit mirrors the SM's CTA table except for
+    // the CTA whose restore is still streaming (the manager re-activates
+    // it at restore start, the SM at restore completion).
+    for (const Cta &cta : sm.ctas()) {
+        if (!cta.valid)
+            continue;
+        if (static_cast<std::int32_t>(cta.hwId) == restoreWaitCta_)
+            continue;
+        LB_AUDIT(ctaMgr_.info(cta.hwId).act == cta.active,
+                 "CTA %u is %s in the SM but %s in the CTA manager",
+                 cta.hwId, cta.active ? "active" : "inactive",
+                 ctaMgr_.info(cta.hwId).act ? "active" : "inactive");
+    }
 }
 
 void

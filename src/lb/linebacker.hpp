@@ -90,6 +90,16 @@ class Linebacker : public SmControllerIf, public VictimCacheIf
     /** Victim caching currently serving data (post-monitoring). */
     bool victimActive() const { return phase_ == Phase::Active; }
 
+    /**
+     * Mechanism-wide auditor: delegates to the VTT partition auditor,
+     * the backup-engine conservation auditor and the CTA-manager BP
+     * auditor, then cross-checks the Linebacker composition — victim
+     * capacity never exceeds the idle register space backing it, and the
+     * CTA manager's act bits mirror the SM's CTA table (CTAs mid
+     * backup/restore transfer are exempt).
+     */
+    void audit(const Sm &sm, Cycle now) const;
+
   private:
     /** Lifecycle of the mechanism on this SM. */
     enum class Phase

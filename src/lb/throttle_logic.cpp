@@ -1,5 +1,8 @@
 #include "lb/throttle_logic.hpp"
 
+#include <cstdio>
+
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace lbsim
@@ -106,6 +109,69 @@ const PerCtaInfo &
 CtaManager::info(std::uint32_t cta_hw_id) const
 {
     return table_.at(cta_hw_id);
+}
+
+void
+CtaManager::audit() const
+{
+    StateDumpScope dump([this] { return debugString(); });
+
+    LB_AUDIT(bp_ >= backupBase_,
+             "backup pointer %llx rewound below the base %llx",
+             static_cast<unsigned long long>(bp_),
+             static_cast<unsigned long long>(backupBase_));
+
+    const Addr stride = static_cast<Addr>(regsPerCta_) * kLineBytes;
+    std::uint32_t with_ba = 0;
+    for (std::uint32_t cta = 0; cta < table_.size(); ++cta) {
+        const PerCtaInfo &info = table_[cta];
+        LB_AUDIT(!info.c || !info.act,
+                 "CTA %u has the backup-complete bit set while active",
+                 cta);
+        LB_AUDIT(info.act || info.ba != kNoAddr,
+                 "throttled CTA %u holds no backup address", cta);
+        if (info.ba == kNoAddr)
+            continue;
+        ++with_ba;
+        LB_AUDIT(info.ba >= backupBase_ && info.ba < bp_,
+                 "CTA %u backup address %llx outside [%llx, %llx)", cta,
+                 static_cast<unsigned long long>(info.ba),
+                 static_cast<unsigned long long>(backupBase_),
+                 static_cast<unsigned long long>(bp_));
+        LB_AUDIT(stride == 0 || (info.ba - backupBase_) % stride == 0,
+                 "CTA %u backup address %llx misaligned to the %llu-byte "
+                 "per-CTA stride",
+                 cta, static_cast<unsigned long long>(info.ba),
+                 static_cast<unsigned long long>(stride));
+    }
+
+    LB_AUDIT(bp_ - backupBase_ == static_cast<Addr>(with_ba) * stride,
+             "backup pointer advanced %llu bytes but %u CTAs x %llu "
+             "bytes are assigned",
+             static_cast<unsigned long long>(bp_ - backupBase_), with_ba,
+             static_cast<unsigned long long>(stride));
+}
+
+std::string
+CtaManager::debugString() const
+{
+    char buf[112];
+    std::snprintf(buf, sizeof(buf),
+                  "CtaManager: regsPerCta=%u base=%llx bp=%llx\n",
+                  regsPerCta_, static_cast<unsigned long long>(backupBase_),
+                  static_cast<unsigned long long>(bp_));
+    std::string out = buf;
+    for (std::uint32_t cta = 0; cta < table_.size(); ++cta) {
+        const PerCtaInfo &info = table_[cta];
+        if (info.act && info.ba == kNoAddr && !info.c)
+            continue;
+        std::snprintf(buf, sizeof(buf),
+                      "cta=%u act=%d c=%d frn=%u ba=%llx\n", cta,
+                      info.act ? 1 : 0, info.c ? 1 : 0, info.frn,
+                      static_cast<unsigned long long>(info.ba));
+        out += buf;
+    }
+    return out;
 }
 
 } // namespace lbsim

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -98,6 +99,23 @@ class CtaManager
     const PerCtaInfo &info(std::uint32_t cta_hw_id) const;
     std::uint32_t regsPerCta() const { return regsPerCta_; }
     Addr backupPointer() const { return bp_; }
+
+    /**
+     * BP arithmetic auditor: BP never rewinds below the backup base,
+     * BP - base accounts for exactly the CTAs holding a backup address,
+     * every backup address lies inside [base, BP), the C bit implies an
+     * inactive CTA, and inactive CTAs always hold a backup address.
+     */
+    void audit() const;
+
+    /** Table summary for failure reports. */
+    std::string debugString() const;
+
+    /**
+     * Skew the backup pointer so tests can fabricate BP-arithmetic
+     * corruption. Never call from simulator code.
+     */
+    void corruptBackupPointerForTest(Addr delta) { bp_ += delta; }
 
   private:
     std::vector<PerCtaInfo> table_;

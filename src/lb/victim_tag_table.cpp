@@ -1,5 +1,8 @@
 #include "lb/victim_tag_table.hpp"
 
+#include <cstdio>
+
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace lbsim
@@ -21,6 +24,13 @@ VictimTagTable::at(std::uint32_t partition, std::uint32_t set,
         (static_cast<std::size_t>(partition) * sets_ + set) * lb_.vttWays +
         way;
     return entries_[index];
+}
+
+const VictimTagTable::Entry &
+VictimTagTable::at(std::uint32_t partition, std::uint32_t set,
+                   std::uint32_t way) const
+{
+    return const_cast<VictimTagTable *>(this)->at(partition, set, way);
 }
 
 std::uint32_t
@@ -182,6 +192,103 @@ VictimTagTable::invalidateAll()
 {
     for (Entry &entry : entries_)
         entry = Entry{};
+}
+
+void
+VictimTagTable::audit(Cycle now) const
+{
+    LB_AUDIT(activeParts_ <= lb_.vttMaxPartitions,
+             "%u active VTT partitions exceed the maximum of %u",
+             activeParts_, lb_.vttMaxPartitions);
+    LB_AUDIT(entries_.size() ==
+                 static_cast<std::size_t>(lb_.vttMaxPartitions) * sets_ *
+                     lb_.vttWays,
+             "VTT backing store holds %zu entries, geometry needs %zu",
+             entries_.size(),
+             static_cast<std::size_t>(lb_.vttMaxPartitions) * sets_ *
+                 lb_.vttWays);
+
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        StateDumpScope dump([this, set] { return debugSetString(set); });
+        for (std::uint32_t p = 0; p < lb_.vttMaxPartitions; ++p) {
+            for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
+                const Entry &entry = at(p, set, w);
+                if (!entry.valid) {
+                    continue;
+                }
+                LB_AUDIT(p < activeParts_,
+                         "valid entry %llx in deactivated partition %u "
+                         "(only %u active)",
+                         static_cast<unsigned long long>(entry.lineAddr),
+                         p, activeParts_);
+                LB_AUDIT(entry.lineAddr != kNoAddr,
+                         "valid VTT entry with sentinel address in "
+                         "partition %u set %u way %u",
+                         p, set, w);
+                LB_AUDIT(setIndex(entry.lineAddr) == set,
+                         "line %llx stored in set %u but maps to set %u",
+                         static_cast<unsigned long long>(entry.lineAddr),
+                         set, setIndex(entry.lineAddr));
+                LB_AUDIT(entry.lastUse <= now,
+                         "line %llx has future LRU timestamp %llu "
+                         "(now %llu)",
+                         static_cast<unsigned long long>(entry.lineAddr),
+                         static_cast<unsigned long long>(entry.lastUse),
+                         static_cast<unsigned long long>(now));
+                // A line must be tracked by at most one partition/way.
+                for (std::uint32_t p2 = p; p2 < lb_.vttMaxPartitions;
+                     ++p2) {
+                    for (std::uint32_t w2 = p2 == p ? w + 1 : 0;
+                         w2 < lb_.vttWays; ++w2) {
+                        const Entry &other = at(p2, set, w2);
+                        LB_AUDIT(!other.valid ||
+                                     other.lineAddr != entry.lineAddr,
+                                 "line %llx tracked twice: partition %u "
+                                 "way %u and partition %u way %u",
+                                 static_cast<unsigned long long>(
+                                     entry.lineAddr),
+                                 p, w, p2, w2);
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::string
+VictimTagTable::debugSetString(std::uint32_t set) const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "VTT set %u (%u/%u partitions active, %u ways, "
+                  "tagOnly=%d)\n",
+                  set, activeParts_, lb_.vttMaxPartitions, lb_.vttWays,
+                  tagOnly_ ? 1 : 0);
+    std::string out = buf;
+    for (std::uint32_t p = 0; p < lb_.vttMaxPartitions; ++p) {
+        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
+            const Entry &entry = at(p, set, w);
+            if (!entry.valid)
+                continue;
+            std::snprintf(buf, sizeof(buf),
+                          "part=%u way=%u addr=%llx lastUse=%llu\n", p, w,
+                          static_cast<unsigned long long>(entry.lineAddr),
+                          static_cast<unsigned long long>(entry.lastUse));
+            out += buf;
+        }
+    }
+    return out;
+}
+
+void
+VictimTagTable::setEntryForTest(std::uint32_t partition, std::uint32_t set,
+                                std::uint32_t way, Addr line_addr,
+                                bool valid, Cycle last_use)
+{
+    Entry &entry = at(partition, set, way);
+    entry.valid = valid;
+    entry.lineAddr = line_addr;
+    entry.lastUse = last_use;
 }
 
 } // namespace lbsim

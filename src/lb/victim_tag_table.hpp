@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -95,6 +96,28 @@ class VictimTagTable
     std::uint32_t ways() const { return lb_.vttWays; }
     std::uint32_t maxPartitions() const { return lb_.vttMaxPartitions; }
 
+    /**
+     * Partition auditor: the active-partition count respects the
+     * configured maximum, the backing store has the configured
+     * sets x ways x maxPartitions shape, deactivated partitions hold no
+     * valid entries, every valid entry sits in the set its address maps
+     * to, no line is tracked by more than one (partition, way), and no
+     * LRU timestamp lies in the future.
+     */
+    void audit(Cycle now) const;
+
+    /** Per-set entry dump for failure reports. */
+    std::string debugSetString(std::uint32_t set) const;
+
+    /**
+     * Overwrite one entry so tests can fabricate corrupted states (e.g.
+     * the same line tracked by two partitions). Never call from
+     * simulator code.
+     */
+    void setEntryForTest(std::uint32_t partition, std::uint32_t set,
+                         std::uint32_t way, Addr line_addr, bool valid,
+                         Cycle last_use);
+
   private:
     struct Entry
     {
@@ -105,6 +128,8 @@ class VictimTagTable
 
     Entry &at(std::uint32_t partition, std::uint32_t set,
               std::uint32_t way);
+    const Entry &at(std::uint32_t partition, std::uint32_t set,
+                    std::uint32_t way) const;
     std::uint32_t setIndex(Addr line_addr) const;
 
     LbConfig lb_;

@@ -1,5 +1,8 @@
 #include "mem/interconnect.hpp"
 
+#include <cstdio>
+
+#include "common/check.hpp"
 #include "common/log.hpp"
 #include "mem/memory_partition.hpp"
 
@@ -10,7 +13,7 @@ Interconnect::Interconnect(const GpuConfig &cfg, SimStats *stats)
     : cfg_(cfg), stats_(stats), partitions_(cfg.numMemPartitions, nullptr),
       sinks_(cfg.numSms, nullptr),
       maxInFlightPerSm_(cfg.l1MshrEntries + cfg.dramQueueDepth),
-      inFlightPerSm_(cfg.numSms, 0)
+      inFlightPerSm_(cfg.numSms, 0), ledger_(cfg.numSms)
 {
 }
 
@@ -40,6 +43,12 @@ Interconnect::canAcceptRequest(std::uint32_t sm_id) const
 void
 Interconnect::sendRequest(const MemRequest &req, Cycle now)
 {
+    LB_ASSERT(req.smId < inFlightPerSm_.size(),
+              "request from out-of-range SM %u", req.smId);
+    LB_ASSERT(req.lineAddr != kNoAddr,
+              "request with sentinel address from SM %u", req.smId);
+    if constexpr (checksEnabled(CheckLevel::Full))
+        ledger_.onIssue(req, now);
     ++inFlightPerSm_[req.smId];
     requests_.push_back({now + cfg_.icntLatency, req});
 }
@@ -47,6 +56,8 @@ Interconnect::sendRequest(const MemRequest &req, Cycle now)
 void
 Interconnect::sendResponse(const MemResponse &resp, Cycle now)
 {
+    LB_ASSERT(resp.smId < sinks_.size(),
+              "response for out-of-range SM %u", resp.smId);
     responses_.push_back({now + cfg_.icntLatency, resp});
 }
 
@@ -67,6 +78,14 @@ Interconnect::tick(Cycle now)
             partitions_[partitionOf(entry.req.lineAddr)];
         if (partition->deliver(entry.req, now)) {
             --inFlightPerSm_[entry.req.smId];
+            // Writes have no response; hand-off to the partition is
+            // their terminal event in the request-lifetime ledger.
+            if constexpr (checksEnabled(CheckLevel::Full)) {
+                if (!needsResponse(entry.req.kind)) {
+                    ledger_.onRetire(entry.req.smId, entry.req.kind,
+                                     now);
+                }
+            }
         } else {
             requests_.push_back(entry);
         }
@@ -75,9 +94,86 @@ Interconnect::tick(Cycle now)
     while (!responses_.empty() && responses_.front().arrival <= now) {
         const MemResponse resp = responses_.front().resp;
         responses_.pop_front();
+        if constexpr (checksEnabled(CheckLevel::Full))
+            ledger_.onRetire(resp.smId, resp.kind, now);
         if (ResponseSinkIf *sink = sinks_[resp.smId])
             sink->onResponse(resp, now);
     }
+}
+
+void
+Interconnect::audit(Cycle now) const
+{
+    StateDumpScope dump([this] { return debugString(); });
+
+    // The per-SM in-flight counter tracks exactly the requests still
+    // queued in the crossbar (delivery to a partition decrements it).
+    std::vector<std::uint32_t> queued(inFlightPerSm_.size(), 0);
+    for (const InFlightRequest &entry : requests_) {
+        LB_AUDIT(entry.req.smId < queued.size(),
+                 "queued request from out-of-range SM %u", entry.req.smId);
+        ++queued[entry.req.smId];
+        LB_AUDIT(entry.arrival <= now + cfg_.icntLatency,
+                 "queued request arrival %llu too far in the future "
+                 "(now %llu, hop %u)",
+                 static_cast<unsigned long long>(entry.arrival),
+                 static_cast<unsigned long long>(now), cfg_.icntLatency);
+        LB_AUDIT(partitions_[partitionOf(entry.req.lineAddr)] != nullptr,
+                 "queued request for line %llx targets an unattached "
+                 "partition",
+                 static_cast<unsigned long long>(entry.req.lineAddr));
+    }
+    for (std::size_t sm = 0; sm < inFlightPerSm_.size(); ++sm) {
+        LB_AUDIT(inFlightPerSm_[sm] == queued[sm],
+                 "SM %zu in-flight counter %u != %u queued requests",
+                 sm, inFlightPerSm_[sm], queued[sm]);
+        LB_AUDIT(inFlightPerSm_[sm] <= maxInFlightPerSm_,
+                 "SM %zu in-flight counter %u exceeds cap %u", sm,
+                 inFlightPerSm_[sm], maxInFlightPerSm_);
+    }
+    for (const InFlightResponse &entry : responses_) {
+        LB_AUDIT(entry.resp.smId < sinks_.size() &&
+                     sinks_[entry.resp.smId] != nullptr,
+                 "queued response for SM %u with no attached sink",
+                 entry.resp.smId);
+        LB_AUDIT(needsResponse(entry.resp.kind),
+                 "queued response of a kind that never responds (%d)",
+                 static_cast<int>(entry.resp.kind));
+    }
+    ledger_.audit(now);
+}
+
+void
+Interconnect::auditDrained() const
+{
+    StateDumpScope dump([this] { return debugString(); });
+    LB_AUDIT(requests_.empty(),
+             "%zu requests still queued after the grid drained",
+             requests_.size());
+    LB_AUDIT(responses_.empty(),
+             "%zu responses still queued after the grid drained",
+             responses_.size());
+    ledger_.auditDrained();
+}
+
+std::string
+Interconnect::debugString() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "Interconnect: %zu queued requests, %zu queued "
+                  "responses, cap %u/SM\n",
+                  requests_.size(), responses_.size(), maxInFlightPerSm_);
+    std::string out = buf;
+    for (std::size_t sm = 0; sm < inFlightPerSm_.size(); ++sm) {
+        if (inFlightPerSm_[sm] == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "sm=%zu inFlight=%u\n", sm,
+                      inFlightPerSm_[sm]);
+        out += buf;
+    }
+    out += ledger_.debugString();
+    return out;
 }
 
 } // namespace lbsim

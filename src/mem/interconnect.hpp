@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "mem/request.hpp"
+#include "mem/request_ledger.hpp"
 
 namespace lbsim
 {
@@ -65,6 +67,26 @@ class Interconnect
                                           partitions_.size());
     }
 
+    /** Request-lifetime ledger (fed only in full-check builds). */
+    RequestLedger &ledger() { return ledger_; }
+    const RequestLedger &ledger() const { return ledger_; }
+
+    /**
+     * Structural auditor: per-SM in-flight counters match the queued
+     * requests exactly, queued traffic is addressed to attached
+     * endpoints, and the ledger counters are consistent.
+     */
+    void audit(Cycle now) const;
+
+    /**
+     * End-of-run auditor (call only once the grid drained): no queued
+     * traffic remains and every request retired exactly once.
+     */
+    void auditDrained() const;
+
+    /** Queue/counter summary for failure reports. */
+    std::string debugString() const;
+
   private:
     struct InFlightRequest
     {
@@ -85,6 +107,7 @@ class Interconnect
     std::deque<InFlightResponse> responses_;
     std::uint32_t maxInFlightPerSm_;
     std::vector<std::uint32_t> inFlightPerSm_;
+    RequestLedger ledger_;
 };
 
 } // namespace lbsim

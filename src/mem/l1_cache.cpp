@@ -1,7 +1,9 @@
 #include "mem/l1_cache.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
+#include "common/check.hpp"
 #include "common/log.hpp"
 #include "mem/interconnect.hpp"
 
@@ -68,7 +70,7 @@ L1Cache::handleLoadMiss(const L1Access &access, Cycle now)
     if (mshrs_.pending(access.lineAddr)) {
         const bool allocate = !access.bypassL1;
         switch (mshrs_.registerMiss(access.lineAddr, access.accessId,
-                                    allocate)) {
+                                    allocate, now)) {
           case MshrOutcome::NoMergeSlot:
             return L1Outcome::StallNoMshr;
           case MshrOutcome::Merged:
@@ -130,8 +132,8 @@ L1Cache::handleLoadMiss(const L1Access &access, Cycle now)
                               access.warpSlot, probe.tagOnlyHit, now);
 
     const bool allocate = !access.bypassL1;
-    if (mshrs_.registerMiss(access.lineAddr, access.accessId, allocate) !=
-        MshrOutcome::Allocated) {
+    if (mshrs_.registerMiss(access.lineAddr, access.accessId, allocate,
+                            now) != MshrOutcome::Allocated) {
         panic("MSHR allocation failed after capacity check");
     }
 
@@ -241,6 +243,64 @@ void
 L1Cache::flush()
 {
     tags_.invalidateAll();
+}
+
+void
+L1Cache::audit(Cycle now, Cycle mshr_leak_bound) const
+{
+    tags_.audit(now);
+    mshrs_.audit(now, mshr_leak_bound);
+
+    StateDumpScope dump([this] { return debugString(); });
+    LB_AUDIT(pendingFills_.size() <= mshrs_.capacity(),
+             "%zu pending fills recorded but only %u MSHRs exist",
+             pendingFills_.size(), mshrs_.capacity());
+    for (const auto &[line, fill] : pendingFills_) {
+        (void)fill;
+        LB_AUDIT(mshrs_.pending(line),
+                 "pending fill for line %llx has no MSHR entry — the "
+                 "fill will never arrive",
+                 static_cast<unsigned long long>(line));
+        LB_AUDIT(!tags_.probe(line),
+                 "line %llx is both resident and awaiting a fill",
+                 static_cast<unsigned long long>(line));
+    }
+    for (std::size_t i = 1; i < completed_.size(); ++i) {
+        LB_AUDIT(completed_[i - 1].first <= completed_[i].first,
+                 "completion queue out of order at index %zu "
+                 "(%llu > %llu)",
+                 i,
+                 static_cast<unsigned long long>(completed_[i - 1].first),
+                 static_cast<unsigned long long>(completed_[i].first));
+    }
+}
+
+std::string
+L1Cache::debugString() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "L1Cache sm=%u: %u/%u MSHRs, %zu pending fills, %zu "
+                  "queued completions, %u valid lines\n",
+                  smId_, mshrs_.inUse(), mshrs_.capacity(),
+                  pendingFills_.size(), completed_.size(),
+                  tags_.validLines());
+    std::string out = buf;
+    for (const auto &[line, fill] : pendingFills_) {
+        std::snprintf(buf, sizeof(buf),
+                      "fill line=%llx hpc=%u owner=%u cold=%d mshr=%d\n",
+                      static_cast<unsigned long long>(line), fill.hpc,
+                      fill.owner, fill.wasCold ? 1 : 0,
+                      mshrs_.pending(line) ? 1 : 0);
+        out += buf;
+    }
+    return out;
+}
+
+void
+L1Cache::injectPendingFillForTest(Addr line_addr)
+{
+    pendingFills_[line_addr] = PendingFill{};
 }
 
 } // namespace lbsim

@@ -19,6 +19,7 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -131,6 +132,26 @@ class L1Cache
 
     /** Invalidate all lines (kernel boundary). */
     void flush();
+
+    /**
+     * Cross-structure auditor: delegates to the tag-array and MSHR
+     * auditors, then verifies that every pending fill is backed by an
+     * in-flight MSHR entry (the reserved-line analog: a fill nobody is
+     * waiting for will never arrive) and that the completion queue is
+     * ordered by ready cycle.
+     * @param mshr_leak_bound Cycles before an outstanding MSHR entry is
+     *        reported as leaked (0 disables).
+     */
+    void audit(Cycle now, Cycle mshr_leak_bound = 0) const;
+
+    /** Summary of pending fills / completions for failure reports. */
+    std::string debugString() const;
+
+    /**
+     * Fabricate an orphaned pending fill (no MSHR backing) so tests can
+     * prove the auditor trips. Never call from simulator code.
+     */
+    void injectPendingFillForTest(Addr line_addr);
 
   private:
     /** Schedule completion of @p access_id at @p ready. */

@@ -1,5 +1,8 @@
 #include "mem/memory_partition.hpp"
 
+#include <cstdio>
+
+#include "common/check.hpp"
 #include "common/log.hpp"
 #include "mem/interconnect.hpp"
 
@@ -28,6 +31,12 @@ MemoryPartition::respond(const PendingRead &read, Cycle ready)
 bool
 MemoryPartition::deliver(const MemRequest &req, Cycle now)
 {
+    LB_ASSERT(icnt_->partitionOf(req.lineAddr) == id_,
+              "request for line %llx delivered to partition %u "
+              "(owner is %u)",
+              static_cast<unsigned long long>(req.lineAddr), id_,
+              icnt_->partitionOf(req.lineAddr));
+
     // Conservative backpressure: any request may need the DRAM queue.
     if (!dram_.canAccept())
         return false;
@@ -71,6 +80,47 @@ MemoryPartition::deliver(const MemRequest &req, Cycle now)
       }
     }
     return false;
+}
+
+void
+MemoryPartition::audit(Cycle now) const
+{
+    l2_.tags().audit(now);
+    StateDumpScope dump([this] { return debugString(); });
+    for (const auto &[id, read] : pendingReads_) {
+        LB_AUDIT(read.lineAddr != kNoAddr,
+                 "pending read %llu has sentinel address",
+                 static_cast<unsigned long long>(id));
+        LB_AUDIT(icnt_->partitionOf(read.lineAddr) == id_,
+                 "pending read %llu for line %llx does not belong to "
+                 "partition %u",
+                 static_cast<unsigned long long>(id),
+                 static_cast<unsigned long long>(read.lineAddr), id_);
+        LB_AUDIT(needsResponse(read.kind),
+                 "pending read %llu has a write kind (%d)",
+                 static_cast<unsigned long long>(id),
+                 static_cast<int>(read.kind));
+    }
+}
+
+std::string
+MemoryPartition::debugString() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "MemoryPartition %u: %zu pending reads, nextId=%llu\n",
+                  id_, pendingReads_.size(),
+                  static_cast<unsigned long long>(nextReadId_));
+    std::string out = buf;
+    for (const auto &[id, read] : pendingReads_) {
+        std::snprintf(buf, sizeof(buf),
+                      "id=%llu line=%llx sm=%u kind=%d\n",
+                      static_cast<unsigned long long>(id),
+                      static_cast<unsigned long long>(read.lineAddr),
+                      read.smId, static_cast<int>(read.kind));
+        out += buf;
+    }
+    return out;
 }
 
 void

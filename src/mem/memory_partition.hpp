@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +42,16 @@ class MemoryPartition
 
     /** Advance DRAM and emit finished responses. */
     void tick(Cycle now);
+
+    /**
+     * Consistency auditor: every pending read belongs to this partition,
+     * is of a kind that produces a response, and is addressed to a real
+     * line.
+     */
+    void audit(Cycle now) const;
+
+    /** Pending-read summary for failure reports. */
+    std::string debugString() const;
 
     const L2Slice &l2() const { return l2_; }
     const DramChannel &dram() const { return dram_; }

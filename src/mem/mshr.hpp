@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -40,7 +41,7 @@ class MshrFile
 
     /** Register a miss for @p line_addr from access @p access_id. */
     MshrOutcome registerMiss(Addr line_addr, std::uint64_t access_id,
-                             bool allocate_on_fill);
+                             bool allocate_on_fill, Cycle now = 0);
 
     /** True if @p line_addr already has an in-flight fill. */
     bool pending(Addr line_addr) const;
@@ -60,11 +61,24 @@ class MshrFile
     }
     std::uint32_t capacity() const { return maxEntries_; }
 
+    /**
+     * Leak/merge auditor. Verifies occupancy against capacity, that every
+     * entry holds 1..maxMerges waiters, that no access id waits on two
+     * lines, and that no entry has been outstanding longer than
+     * @p leak_bound cycles (0 disables the age check) — a fill that never
+     * arrives would otherwise park its waiters forever.
+     */
+    void audit(Cycle now, Cycle leak_bound = 0) const;
+
+    /** One-line-per-entry state dump for failure reports. */
+    std::string debugString() const;
+
   private:
     struct Entry
     {
         std::vector<std::uint64_t> waiters;
         bool allocateOnFill = false;
+        Cycle allocatedAt = 0;   ///< Cycle the entry was created.
     };
 
     std::uint32_t maxEntries_;

@@ -1,0 +1,160 @@
+#include "mem/request_ledger.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace lbsim
+{
+
+namespace
+{
+
+const char *
+kindName(std::uint32_t kind_index)
+{
+    switch (static_cast<RequestKind>(kind_index)) {
+      case RequestKind::DataRead:
+        return "DataRead";
+      case RequestKind::DataWrite:
+        return "DataWrite";
+      case RequestKind::RegBackup:
+        return "RegBackup";
+      case RequestKind::RegRestore:
+        return "RegRestore";
+    }
+    return "?";
+}
+
+} // namespace
+
+RequestLedger::RequestLedger(std::uint32_t num_sms) : perSm_(num_sms)
+{
+}
+
+void
+RequestLedger::onIssue(const MemRequest &req, Cycle now)
+{
+    (void)now;
+    LB_ASSERT(req.smId < perSm_.size(),
+              "request from unknown SM %u (have %zu)", req.smId,
+              perSm_.size());
+    ++perSm_[req.smId].issued[kindIndex(req.kind)];
+}
+
+void
+RequestLedger::onRetire(std::uint32_t sm_id, RequestKind kind, Cycle now)
+{
+    (void)now;
+    LB_ASSERT(sm_id < perSm_.size(),
+              "retirement for unknown SM %u (have %zu)", sm_id,
+              perSm_.size());
+    StateDumpScope dump([this] { return debugString(); });
+    Counters &c = perSm_[sm_id];
+    const std::uint32_t k = kindIndex(kind);
+    LB_AUDIT(c.retired[k] < c.issued[k],
+             "SM %u %s retired more requests than issued "
+             "(%llu retired, %llu issued) — duplicated response?",
+             sm_id, kindName(k),
+             static_cast<unsigned long long>(c.retired[k] + 1),
+             static_cast<unsigned long long>(c.issued[k]));
+    ++c.retired[k];
+}
+
+std::uint64_t
+RequestLedger::outstanding(std::uint32_t sm_id, RequestKind kind) const
+{
+    const Counters &c = perSm_[sm_id];
+    const std::uint32_t k = kindIndex(kind);
+    return c.issued[k] >= c.retired[k] ? c.issued[k] - c.retired[k] : 0;
+}
+
+std::uint64_t
+RequestLedger::totalOutstanding() const
+{
+    std::uint64_t total = 0;
+    for (const Counters &c : perSm_) {
+        for (std::uint32_t k = 0; k < kKinds; ++k) {
+            total += c.issued[k] >= c.retired[k]
+                ? c.issued[k] - c.retired[k]
+                : 0;
+        }
+    }
+    return total;
+}
+
+void
+RequestLedger::audit(Cycle now) const
+{
+    (void)now;
+    StateDumpScope dump([this] { return debugString(); });
+    for (std::size_t sm = 0; sm < perSm_.size(); ++sm) {
+        const Counters &c = perSm_[sm];
+        for (std::uint32_t k = 0; k < kKinds; ++k) {
+            LB_AUDIT(c.retired[k] <= c.issued[k],
+                     "SM %zu %s counters crossed "
+                     "(%llu retired > %llu issued)",
+                     sm, kindName(k),
+                     static_cast<unsigned long long>(c.retired[k]),
+                     static_cast<unsigned long long>(c.issued[k]));
+        }
+    }
+}
+
+void
+RequestLedger::auditDrained() const
+{
+    StateDumpScope dump([this] { return debugString(); });
+    for (std::size_t sm = 0; sm < perSm_.size(); ++sm) {
+        const Counters &c = perSm_[sm];
+        for (std::uint32_t k = 0; k < kKinds; ++k) {
+            LB_AUDIT(c.issued[k] == c.retired[k],
+                     "SM %zu %s: %llu of %llu requests never retired — "
+                     "lost request or response",
+                     sm, kindName(k),
+                     static_cast<unsigned long long>(c.issued[k] -
+                                                     c.retired[k]),
+                     static_cast<unsigned long long>(c.issued[k]));
+        }
+    }
+}
+
+std::string
+RequestLedger::debugString() const
+{
+    std::string out = "RequestLedger (issued/retired per SM)\n";
+    char buf[192];
+    for (std::size_t sm = 0; sm < perSm_.size(); ++sm) {
+        const Counters &c = perSm_[sm];
+        bool any = false;
+        for (std::uint32_t k = 0; k < kKinds; ++k)
+            any = any || c.issued[k] != 0 || c.retired[k] != 0;
+        if (!any)
+            continue;
+        std::snprintf(
+            buf, sizeof(buf),
+            "sm=%zu read=%llu/%llu write=%llu/%llu backup=%llu/%llu "
+            "restore=%llu/%llu\n",
+            sm,
+            static_cast<unsigned long long>(
+                c.issued[kindIndex(RequestKind::DataRead)]),
+            static_cast<unsigned long long>(
+                c.retired[kindIndex(RequestKind::DataRead)]),
+            static_cast<unsigned long long>(
+                c.issued[kindIndex(RequestKind::DataWrite)]),
+            static_cast<unsigned long long>(
+                c.retired[kindIndex(RequestKind::DataWrite)]),
+            static_cast<unsigned long long>(
+                c.issued[kindIndex(RequestKind::RegBackup)]),
+            static_cast<unsigned long long>(
+                c.retired[kindIndex(RequestKind::RegBackup)]),
+            static_cast<unsigned long long>(
+                c.issued[kindIndex(RequestKind::RegRestore)]),
+            static_cast<unsigned long long>(
+                c.retired[kindIndex(RequestKind::RegRestore)]));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace lbsim

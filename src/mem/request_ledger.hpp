@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Request-lifetime ledger for the interconnect / memory-partition path.
+ *
+ * Every MemRequest an SM sends downstream must terminate exactly once:
+ * reads (DataRead, RegRestore) with one response delivered back to the
+ * SM, writes (DataWrite, RegBackup) with one successful hand-off to a
+ * partition. The ledger counts issues and retirements per (SM, kind) and
+ * fires an invariant on over-retirement (a duplicated response) the
+ * moment it happens, and on under-retirement (a lost request or
+ * response) when the drained state is audited at end of run.
+ *
+ * The Interconnect feeds the ledger only in LBSIM_CHECKS=full builds;
+ * the class itself is always functional so unit tests can exercise it at
+ * any level.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/request.hpp"
+
+namespace lbsim
+{
+
+/** Exactly-once retirement tracker for downstream memory requests. */
+class RequestLedger
+{
+  public:
+    explicit RequestLedger(std::uint32_t num_sms);
+
+    /** A request left SM @p req.smId toward the partitions. */
+    void onIssue(const MemRequest &req, Cycle now);
+
+    /**
+     * A request reached its terminal event: response delivered (reads)
+     * or accepted by its partition (writes). Fires immediately if this
+     * retires more requests than were ever issued.
+     */
+    void onRetire(std::uint32_t sm_id, RequestKind kind, Cycle now);
+
+    /** Requests issued but not yet retired for (sm, kind). */
+    std::uint64_t outstanding(std::uint32_t sm_id, RequestKind kind) const;
+
+    /** Total outstanding across all SMs and kinds. */
+    std::uint64_t totalOutstanding() const;
+
+    /** Per-cycle consistency: counters monotone and non-crossing. */
+    void audit(Cycle now) const;
+
+    /**
+     * End-of-run check: every issued request was retired exactly once.
+     * Only meaningful once the simulated grid fully drained.
+     */
+    void auditDrained() const;
+
+    /** Counter table for failure reports. */
+    std::string debugString() const;
+
+  private:
+    static constexpr std::uint32_t kKinds = 4;
+
+    static std::uint32_t
+    kindIndex(RequestKind kind)
+    {
+        return static_cast<std::uint32_t>(kind);
+    }
+
+    struct Counters
+    {
+        std::uint64_t issued[kKinds] = {};
+        std::uint64_t retired[kKinds] = {};
+    };
+
+    std::vector<Counters> perSm_;
+};
+
+} // namespace lbsim

@@ -1,5 +1,8 @@
 #include "mem/tag_array.hpp"
 
+#include <cstdio>
+
+#include "common/check.hpp"
 #include "common/log.hpp"
 
 namespace lbsim
@@ -128,6 +131,70 @@ TagArray::validLines() const
     for (const auto &line : lines_)
         count += line.valid ? 1 : 0;
     return count;
+}
+
+void
+TagArray::audit(Cycle now) const
+{
+    for (std::uint32_t set = 0; set < sets_; ++set) {
+        StateDumpScope dump([this, set] { return debugSetString(set); });
+        const TagLine *base =
+            &lines_[static_cast<std::size_t>(set) * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            const TagLine &line = base[w];
+            if (!line.valid)
+                continue;
+            LB_AUDIT(line.lineAddr != kNoAddr,
+                     "valid line in set %u way %u has sentinel address",
+                     set, w);
+            LB_AUDIT(setIndex(line.lineAddr) == set,
+                     "line %llx stored in set %u but maps to set %u",
+                     static_cast<unsigned long long>(line.lineAddr), set,
+                     setIndex(line.lineAddr));
+            LB_AUDIT(line.lastUse <= now && line.fillTime <= now,
+                     "line %llx in set %u has future timestamps "
+                     "(lastUse=%llu fill=%llu now=%llu)",
+                     static_cast<unsigned long long>(line.lineAddr), set,
+                     static_cast<unsigned long long>(line.lastUse),
+                     static_cast<unsigned long long>(line.fillTime),
+                     static_cast<unsigned long long>(now));
+            for (std::uint32_t w2 = w + 1; w2 < ways_; ++w2) {
+                LB_AUDIT(!base[w2].valid ||
+                             base[w2].lineAddr != line.lineAddr,
+                         "duplicate tag %llx in set %u (ways %u and %u)",
+                         static_cast<unsigned long long>(line.lineAddr),
+                         set, w, w2);
+            }
+        }
+    }
+}
+
+std::string
+TagArray::debugSetString(std::uint32_t set) const
+{
+    std::string out = "TagArray set " + std::to_string(set) + " (" +
+        std::to_string(ways_) + " ways)\n";
+    const TagLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    char buf[160];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const TagLine &line = base[w];
+        std::snprintf(buf, sizeof(buf),
+                      "way=%u valid=%d addr=%llx hpc=%u owner=%u "
+                      "lastUse=%llu fill=%llu\n",
+                      w, line.valid ? 1 : 0,
+                      static_cast<unsigned long long>(line.lineAddr),
+                      line.hpc, line.owner,
+                      static_cast<unsigned long long>(line.lastUse),
+                      static_cast<unsigned long long>(line.fillTime));
+        out += buf;
+    }
+    return out;
+}
+
+TagLine &
+TagArray::lineForTest(std::uint32_t set, std::uint32_t way)
+{
+    return lines_[static_cast<std::size_t>(set) * ways_ + way];
 }
 
 } // namespace lbsim

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/config.hpp"
@@ -102,6 +103,23 @@ class TagArray
 
     /** Number of currently valid lines. */
     std::uint32_t validLines() const;
+
+    /**
+     * Consistency auditor: every valid line maps to its set, no tag is
+     * duplicated within a set, no sentinel addresses are marked valid,
+     * and no LRU/fill timestamp lies in the future of @p now.
+     */
+    void audit(Cycle now) const;
+
+    /** State dump of one set for failure reports. */
+    std::string debugSetString(std::uint32_t set) const;
+
+    /**
+     * Direct line access for tests that need to fabricate corrupted
+     * states the public interface cannot produce. Never call this from
+     * simulator code.
+     */
+    TagLine &lineForTest(std::uint32_t set, std::uint32_t way);
 
   private:
     TagLine *find(Addr line_addr);

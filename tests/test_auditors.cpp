@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Unit tests for the per-subsystem structural auditors. Each test
+ * fabricates a corrupted state through a *ForTest hook (or the public
+ * interface where it suffices) and proves the corresponding auditor
+ * fires; the healthy-state companions prove the auditors stay quiet on
+ * states the simulator can legally reach.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/gpu.hpp"
+#include "core/register_file.hpp"
+#include "lb/backup_engine.hpp"
+#include "lb/throttle_logic.hpp"
+#include "lb/victim_tag_table.hpp"
+#include "mem/interconnect.hpp"
+#include "mem/l1_cache.hpp"
+#include "mem/memory_partition.hpp"
+#include "mem/mshr.hpp"
+#include "mem/request_ledger.hpp"
+#include "mem/tag_array.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+/** Collects audit failures instead of aborting. */
+struct AuditFixture : ::testing::Test
+{
+    AuditFixture()
+    {
+        previous = setCheckFailureHandler(
+            [this](const CheckFailure &failure) {
+                failures.push_back(failure);
+            });
+    }
+    ~AuditFixture() override { setCheckFailureHandler(previous); }
+
+    bool
+    fired(const std::string &fragment) const
+    {
+        for (const CheckFailure &failure : failures) {
+            if (failure.message.find(fragment) != std::string::npos)
+                return true;
+        }
+        return false;
+    }
+
+    CheckFailureHandler previous;
+    std::vector<CheckFailure> failures;
+};
+
+// --- MSHR leak/merge auditor -----------------------------------------------
+
+TEST_F(AuditFixture, MshrHealthyStatePasses)
+{
+    MshrFile mshrs(8, 4);
+    EXPECT_EQ(mshrs.registerMiss(0x1000, 1, true, 5),
+              MshrOutcome::Allocated);
+    EXPECT_EQ(mshrs.registerMiss(0x1000, 2, true, 6),
+              MshrOutcome::Merged);
+    EXPECT_EQ(mshrs.registerMiss(0x2000, 3, true, 7),
+              MshrOutcome::Allocated);
+    mshrs.audit(10, 100);
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST_F(AuditFixture, MshrDuplicateAccessIdTrips)
+{
+    MshrFile mshrs(8, 4);
+    mshrs.registerMiss(0x1000, 7, true, 0);
+    mshrs.registerMiss(0x2000, 7, true, 0);
+    mshrs.audit(1);
+    EXPECT_TRUE(fired("waits on"));
+    EXPECT_FALSE(failures.empty());
+}
+
+TEST_F(AuditFixture, MshrLeakBoundTrips)
+{
+    MshrFile mshrs(8, 4);
+    mshrs.registerMiss(0x1000, 1, true, 0);
+    mshrs.audit(50, 100);
+    EXPECT_TRUE(failures.empty());
+    mshrs.audit(1000, 100);
+    EXPECT_TRUE(fired("lost fill"));
+}
+
+// --- Tag-array consistency auditor -----------------------------------------
+
+TEST_F(AuditFixture, TagArrayHealthyStatePasses)
+{
+    TagArray tags(48, 8);
+    tags.insert(0x0, 0, 1);
+    tags.insert(48 * kLineBytes, 0, 2);  // Same set, different tag.
+    tags.insert(kLineBytes, 0, 3);       // Next set.
+    tags.audit(10);
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST_F(AuditFixture, TagArrayDuplicateTagTrips)
+{
+    TagArray tags(48, 8);
+    tags.insert(0x0, 0, 1);
+    TagLine &line = tags.lineForTest(0, 1);
+    line.valid = true;
+    line.lineAddr = 0x0;
+    tags.audit(10);
+    EXPECT_FALSE(failures.empty());
+}
+
+TEST_F(AuditFixture, TagArrayWrongSetTrips)
+{
+    TagArray tags(48, 8);
+    TagLine &line = tags.lineForTest(0, 0);
+    line.valid = true;
+    line.lineAddr = 3 * kLineBytes;  // Maps to set 3, stored in set 0.
+    tags.audit(10);
+    EXPECT_FALSE(failures.empty());
+}
+
+// --- Request-lifetime ledger ------------------------------------------------
+
+TEST_F(AuditFixture, LedgerExactlyOnceLifecyclePasses)
+{
+    RequestLedger ledger(2);
+    MemRequest req;
+    req.lineAddr = 0x1000;
+    req.kind = RequestKind::DataRead;
+    req.smId = 1;
+    ledger.onIssue(req, 1);
+    EXPECT_EQ(ledger.outstanding(1, RequestKind::DataRead), 1u);
+    ledger.onRetire(1, RequestKind::DataRead, 50);
+    ledger.audit(51);
+    ledger.auditDrained();
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(ledger.totalOutstanding(), 0u);
+}
+
+TEST_F(AuditFixture, LedgerDuplicateRetirementTrips)
+{
+    RequestLedger ledger(1);
+    MemRequest req;
+    req.lineAddr = 0x1000;
+    req.kind = RequestKind::DataRead;
+    req.smId = 0;
+    ledger.onIssue(req, 1);
+    ledger.onRetire(0, RequestKind::DataRead, 2);
+    EXPECT_TRUE(failures.empty());
+    // The duplicated response must fire immediately, not at drain time.
+    ledger.onRetire(0, RequestKind::DataRead, 3);
+    EXPECT_FALSE(failures.empty());
+}
+
+TEST_F(AuditFixture, LedgerLostResponseTripsAtDrain)
+{
+    RequestLedger ledger(1);
+    MemRequest req;
+    req.lineAddr = 0x2000;
+    req.kind = RequestKind::RegRestore;
+    req.smId = 0;
+    ledger.onIssue(req, 1);
+    ledger.audit(2);
+    EXPECT_TRUE(failures.empty());  // In flight is fine mid-run...
+    ledger.auditDrained();          // ...but not once the grid drained.
+    EXPECT_TRUE(fired("lost"));
+}
+
+// --- Register-file conservation auditor -------------------------------------
+
+TEST_F(AuditFixture, RegisterFileHealthyStatePasses)
+{
+    GpuConfig cfg;
+    SimStats stats;
+    RegisterFile rf(cfg, &stats);
+    const auto first = rf.allocate(64);
+    ASSERT_TRUE(first.has_value());
+    rf.audit();
+    rf.release(*first, 64);
+    rf.audit();
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST_F(AuditFixture, RegisterFileCounterCorruptionTrips)
+{
+    GpuConfig cfg;
+    SimStats stats;
+    RegisterFile rf(cfg, &stats);
+    rf.allocate(64);
+    rf.corruptAllocCounterForTest(1);
+    rf.audit();
+    EXPECT_TRUE(fired("disagrees with bitmap"));
+}
+
+// --- L1 cross-structure auditor ---------------------------------------------
+
+struct L1AuditFixture : AuditFixture
+{
+    L1AuditFixture()
+    {
+        cfg = GpuConfig{}.scaleTo(1);
+        icnt = std::make_unique<Interconnect>(cfg, &stats);
+        for (std::uint32_t p = 0; p < cfg.numMemPartitions; ++p) {
+            partitions.push_back(std::make_unique<MemoryPartition>(
+                cfg, p, icnt.get(), &stats));
+            icnt->attachPartition(p, partitions.back().get());
+        }
+        l1 = std::make_unique<L1Cache>(cfg, 0, icnt.get(), &stats);
+    }
+
+    GpuConfig cfg;
+    SimStats stats;
+    std::unique_ptr<Interconnect> icnt;
+    std::vector<std::unique_ptr<MemoryPartition>> partitions;
+    std::unique_ptr<L1Cache> l1;
+};
+
+TEST_F(L1AuditFixture, HealthyMissPathPasses)
+{
+    L1Access access;
+    access.accessId = 1;
+    access.lineAddr = 0x4000;
+    EXPECT_EQ(l1->access(access, 1), L1Outcome::Miss);
+    l1->audit(2);
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST_F(L1AuditFixture, OrphanPendingFillTrips)
+{
+    l1->injectPendingFillForTest(0x4000);
+    l1->audit(2);
+    EXPECT_TRUE(fired("fill will never arrive"));
+}
+
+// --- Backup-engine conservation auditor -------------------------------------
+
+struct BackupAuditFixture : AuditFixture
+{
+    BackupAuditFixture()
+    {
+        cfg = GpuConfig{}.scaleTo(1);
+        gpu = std::make_unique<Gpu>(cfg);
+        engine = std::make_unique<BackupEngine>(cfg, lb, &gpu->sm(0),
+                                                &gpu->stats());
+        gpu->sm(0).setRestoreSink(engine.get());
+    }
+
+    GpuConfig cfg;
+    LbConfig lb;
+    std::unique_ptr<Gpu> gpu;
+    std::unique_ptr<BackupEngine> engine;
+};
+
+TEST_F(BackupAuditFixture, HealthyBackupJobPasses)
+{
+    engine->startBackup(0, 0, 16, Addr{1} << 20, 0);
+    engine->audit(0);
+    for (Cycle c = 0; c < 8; ++c) {
+        engine->tick(gpu->now());
+        gpu->tick();
+        engine->audit(gpu->now());
+    }
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST_F(BackupAuditFixture, LostRegisterLineTrips)
+{
+    engine->startBackup(0, 0, 16, Addr{1} << 20, 0);
+    // Claim the job covers more lines than were ever queued: the
+    // conservation sum can no longer reach linesTotal.
+    engine->tamperJobForTest(0, 4);
+    engine->audit(0);
+    EXPECT_TRUE(fired("lost a register line"));
+}
+
+// --- CTA-manager BP auditor --------------------------------------------------
+
+TEST_F(AuditFixture, CtaManagerBpArithmeticPasses)
+{
+    CtaManager mgr(8);
+    mgr.beginKernel(64, Addr{1} << 20);
+    mgr.onLaunch(0, 0);
+    mgr.onLaunch(1, 64);
+    mgr.audit();
+    mgr.markThrottled(1);
+    mgr.markBackupComplete(1);
+    mgr.audit();
+    mgr.markReactivated(1);
+    mgr.audit();
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST_F(AuditFixture, CtaManagerBpCorruptionTrips)
+{
+    CtaManager mgr(8);
+    mgr.beginKernel(64, Addr{1} << 20);
+    mgr.onLaunch(0, 0);
+    mgr.markThrottled(0);
+    mgr.corruptBackupPointerForTest(kLineBytes);
+    mgr.audit();
+    EXPECT_FALSE(failures.empty());
+}
+
+// --- VTT partition auditor ----------------------------------------------------
+
+struct VttAuditFixture : AuditFixture
+{
+    VttAuditFixture() : vtt(gpu, lb, &stats) {}
+
+    GpuConfig gpu;
+    LbConfig lb;
+    SimStats stats;
+    VictimTagTable vtt;
+};
+
+TEST_F(VttAuditFixture, HealthyInsertionsPass)
+{
+    vtt.setActivePartitions(2);
+    RegNum reg = 0;
+    for (std::uint32_t k = 0; k < 12; ++k)
+        ASSERT_TRUE(vtt.insert(k * kLineBytes, k, reg));
+    vtt.audit(100);
+    EXPECT_TRUE(failures.empty());
+}
+
+TEST_F(VttAuditFixture, LineTrackedByTwoPartitionsTrips)
+{
+    vtt.setActivePartitions(2);
+    vtt.setEntryForTest(0, 5, 0, 5 * kLineBytes, true, 1);
+    vtt.setEntryForTest(1, 5, 2, 5 * kLineBytes, true, 1);
+    vtt.audit(10);
+    EXPECT_TRUE(fired("tracked twice"));
+}
+
+TEST_F(VttAuditFixture, EntryInDeactivatedPartitionTrips)
+{
+    vtt.setActivePartitions(1);
+    vtt.setEntryForTest(3, 0, 0, 0, true, 1);
+    vtt.audit(10);
+    EXPECT_TRUE(fired("deactivated partition"));
+}
+
+// --- Whole-chip audit entry point --------------------------------------------
+
+TEST_F(AuditFixture, IdleGpuAuditPasses)
+{
+    const GpuConfig cfg = GpuConfig{}.scaleTo(1);
+    Gpu gpu(cfg);
+    for (int i = 0; i < 4; ++i)
+        gpu.tick();
+    gpu.audit();
+    EXPECT_TRUE(failures.empty());
+}
+
+} // namespace
+} // namespace lbsim
