@@ -10,67 +10,100 @@
  * cache-sensitive applications, normalized to the baseline.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
 
-namespace
-{
-
-double
-lbGeomeanOverBaseline(lbsim::SimRunner &runner)
-{
-    using namespace lbsim;
-    std::vector<double> ratios;
-    for (const AppProfile &app : cacheSensitiveApps()) {
-        const double base =
-            runner.run(app, SchemeConfig::baseline()).ipc;
-        if (base <= 0)
-            continue;
-        ratios.push_back(runner.run(app, SchemeConfig::linebacker()).ipc /
-                         base);
-    }
-    return geomean(ratios);
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "ablation_lbparams");
     printFigureBanner("Ablation",
                       "Linebacker sensitivity to Table-3 parameters "
                       "(GM over cache-sensitive apps, vs baseline)");
 
-    TextTable table;
-    table.setHeader({"parameter", "value", "LB speedup"});
+    // Cache-sensitive apps only; under --smoke, restrict further to the
+    // smoke subset so the run stays short.
+    std::vector<AppProfile> apps = cacheSensitiveApps();
+    if (opts.smoke) {
+        const std::vector<AppProfile> smoke_apps = benchApps(opts);
+        apps.erase(std::remove_if(
+                       apps.begin(), apps.end(),
+                       [&smoke_apps](const AppProfile &app) {
+                           return std::none_of(
+                               smoke_apps.begin(), smoke_apps.end(),
+                               [&app](const AppProfile &s) {
+                                   return s.id == app.id;
+                               });
+                       }),
+                   apps.end());
+    }
 
+    struct Point
+    {
+        std::string parameter;
+        std::string value;
+        SweepPoint sweep;
+    };
+    std::vector<Point> rows;
     for (double threshold : {0.10, 0.20, 0.40}) {
-        LbConfig lb;
-        lb.hitRatioThreshold = threshold;
-        SimRunner runner(benchGpuConfig(), lb, benchRunnerOptions());
-        table.addRow({"hit threshold", fmtPercent(threshold, 0),
-                      fmtSpeedup(lbGeomeanOverBaseline(runner))});
+        rows.push_back(
+            {"hit threshold", fmtPercent(threshold, 0),
+             {"thr=" + fmtPercent(threshold, 0),
+              [threshold](GpuConfig &, LbConfig &lb, RunnerOptions &) {
+                  lb.hitRatioThreshold = threshold;
+              }}});
     }
     for (Cycle period : {25000u, 50000u, 100000u}) {
-        LbConfig lb;
-        lb.monitorPeriod = period;
-        SimRunner runner(benchGpuConfig(), lb, benchRunnerOptions());
-        table.addRow({"monitor period", std::to_string(period),
-                      fmtSpeedup(lbGeomeanOverBaseline(runner))});
+        rows.push_back(
+            {"monitor period", std::to_string(period),
+             {"period=" + std::to_string(period),
+              [period](GpuConfig &, LbConfig &lb, RunnerOptions &) {
+                  lb.monitorPeriod = period;
+              }}});
     }
     for (double bound : {0.05, 0.10, 0.20}) {
-        LbConfig lb;
-        lb.ipcVarUpper = bound;
-        lb.ipcVarLower = -bound;
-        SimRunner runner(benchGpuConfig(), lb, benchRunnerOptions());
-        table.addRow({"IPC variation bound",
-                      "+/-" + fmtPercent(bound, 0),
-                      fmtSpeedup(lbGeomeanOverBaseline(runner))});
+        rows.push_back(
+            {"IPC variation bound", "+/-" + fmtPercent(bound, 0),
+             {"ipcvar=" + fmtPercent(bound, 0),
+              [bound](GpuConfig &, LbConfig &lb, RunnerOptions &) {
+                  lb.ipcVarUpper = bound;
+                  lb.ipcVarLower = -bound;
+              }}});
+    }
+
+    ExperimentPlan plan = benchPlan(opts);
+    std::vector<SweepPoint> points;
+    for (const Point &row : rows)
+        points.push_back(row.sweep);
+    plan.sweepParam(points, apps,
+                    {SchemeConfig::baseline(), SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
+    TextTable table;
+    table.setHeader({"parameter", "value", "LB speedup"});
+    for (const Point &row : rows) {
+        std::vector<double> ratios;
+        for (const AppProfile &app : apps) {
+            const RunMetrics *base = findMetrics(results, app.id,
+                                                 "Baseline",
+                                                 row.sweep.label);
+            const RunMetrics *lb = findMetrics(results, app.id,
+                                               "Linebacker",
+                                               row.sweep.label);
+            if (!base || !lb || base->ipc <= 0)
+                continue;
+            ratios.push_back(lb->ipc / base->ipc);
+        }
+        table.addRow({row.parameter, row.value,
+                      fmtSpeedup(geomean(ratios))});
     }
 
     std::fputs(table.render().c_str(), stdout);

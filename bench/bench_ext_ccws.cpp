@@ -14,28 +14,25 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "ext_ccws");
     printFigureBanner("Extension",
                       "CCWS-lite vs Best-SWL vs Linebacker "
                       "(normalized to baseline)");
 
-    SimRunner runner = benchRunner();
-    ComparisonReport report;
-    report.setAppOrder(appOrder());
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBaseline(apps, SchemeConfig::baseline())
+        .crossApps(apps, {SchemeConfig::ccws()})
+        .withBestSwl(apps)
+        .crossApps(apps, {SchemeConfig::linebacker()});
 
-    for (const AppProfile &app : benchmarkSuite()) {
-        report.add(app.id, "Baseline",
-                   runner.run(app, SchemeConfig::baseline()).ipc);
-        report.add(app.id, "CCWS",
-                   runner.run(app, SchemeConfig::ccws()).ipc);
-        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
-        report.add(app.id, "Linebacker",
-                   runner.run(app, SchemeConfig::linebacker()).ipc);
-    }
+    const std::vector<CellResult> results = runPlan(opts, plan);
+    const ComparisonReport report = reportFromCells(plan, results);
 
     std::fputs(report.renderNormalized("Baseline").c_str(), stdout);
 

@@ -14,11 +14,13 @@
 #include "common/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig01_miss_breakdown");
     printFigureBanner("Figure 1",
                       "Cold vs capacity/conflict miss breakdown "
                       "(baseline)");
@@ -26,8 +28,11 @@ main()
     // Cold-vs-capacity classification needs the cold prologue, so this
     // bench measures from cycle 0 (no warm-up reset).
     GpuConfig cfg;
-    RunnerOptions options = benchRunnerOptions();
-    SimRunner runner(cfg, LbConfig{}, options);
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan(cfg, LbConfig{}, benchRunnerOptions(opts));
+    plan.crossApps(apps, {SchemeConfig::baseline()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
 
     TextTable table;
     table.setHeader({"app", "cold miss", "2C miss", "total miss",
@@ -35,14 +40,16 @@ main()
     double sum_total = 0;
     double sum_2c = 0;
     int high_2c_apps = 0;
-    for (const AppProfile &app : benchmarkSuite()) {
-        const RunMetrics m = runner.run(app, SchemeConfig::baseline());
+    for (const CellResult &result : results) {
+        if (!result.ok)
+            continue;
+        const RunMetrics &m = result.metrics;
         const double accesses = static_cast<double>(m.stats.l1.total());
         const double cold = m.stats.coldMisses / accesses;
         const double cap = m.stats.capacityMisses / accesses;
         const double total = cold + cap;
         const double share = total > 0 ? cap / total : 0.0;
-        table.addRow({app.id, fmtPercent(cold), fmtPercent(cap),
+        table.addRow({result.app, fmtPercent(cold), fmtPercent(cap),
                       fmtPercent(total), fmtPercent(share)});
         sum_total += total;
         sum_2c += cap;
@@ -51,7 +58,7 @@ main()
     }
     std::fputs(table.render().c_str(), stdout);
 
-    const double n = static_cast<double>(benchmarkSuite().size());
+    const double n = static_cast<double>(apps.size());
     std::printf("\nPaper vs measured:\n");
     printPaperVsMeasured("avg total L1 miss ratio", 66.6,
                          100.0 * sum_total / n, "%");
@@ -59,8 +66,9 @@ main()
                          100.0 * sum_2c / n, "%");
     printPaperVsMeasured("2C share of all misses", 67.0,
                          100.0 * sum_2c / sum_total, "%");
-    std::printf("  apps with 2C share > 70%%: paper 11/20, measured "
-                "%d/20\n",
-                high_2c_apps);
+    std::printf("  apps with 2C share > 70%%: paper 11/%d, measured "
+                "%d/%d\n",
+                static_cast<int>(n), high_2c_apps,
+                static_cast<int>(n));
     return 0;
 }

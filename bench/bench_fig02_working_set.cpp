@@ -8,34 +8,65 @@
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "harness/characterize.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig02_working_set");
     printFigureBanner("Figure 2",
                       "Reused working set of the top-4 non-streaming "
                       "loads per SM (50k-cycle window)");
 
+    const std::vector<AppProfile> apps = benchApps(opts);
+    const std::vector<AppCharacter> characters = parallelMap(
+        apps.size(), opts.threads,
+        [&apps](std::size_t i) { return characterizeApp(apps[i]); });
+
     TextTable table;
     table.setHeader({"app", "working set", "> 48KB L1?"});
     int exceeds = 0;
-    for (const AppProfile &app : benchmarkSuite()) {
-        const AppCharacter character = characterizeApp(app);
-        const double bytes = character.topReusedWorkingSetBytes(4);
+    std::vector<double> working_sets;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const double bytes = characters[i].topReusedWorkingSetBytes(4);
+        working_sets.push_back(bytes);
         const bool over = bytes > 48.0 * 1024;
         exceeds += over ? 1 : 0;
-        table.addRow({app.id, fmtKb(bytes), over ? "yes" : "no"});
+        table.addRow({apps[i].id, fmtKb(bytes), over ? "yes" : "no"});
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n  apps whose top-4 reused working set exceeds the "
-                "48KB L1: paper 13/20, measured %d/20\n",
-                exceeds);
+                "48KB L1: paper 13/20, measured %d/%zu\n",
+                exceeds, apps.size());
+
+    if (opts.writeJson) {
+        std::ofstream out(opts.jsonPath);
+        if (out) {
+            JsonWriter json(out);
+            json.beginObject();
+            json.field("bench", opts.benchName);
+            json.field("schemaVersion", std::uint64_t{1});
+            json.field("smoke", opts.smoke);
+            json.beginArrayField("cells");
+            for (std::size_t i = 0; i < apps.size(); ++i) {
+                json.beginObject();
+                json.field("app", apps[i].id);
+                json.field("ok", true);
+                json.field("workingSetBytes", working_sets[i]);
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+        }
+    }
     return 0;
 }

@@ -8,39 +8,69 @@
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "harness/characterize.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "fig03_streaming");
     printFigureBanner("Figure 3",
                       "Per-SM streaming data size (50k-cycle window)");
+
+    const std::vector<AppProfile> apps = benchApps(opts);
+    const std::vector<AppCharacter> characters = parallelMap(
+        apps.size(), opts.threads,
+        [&apps](std::size_t i) { return characterizeApp(apps[i]); });
 
     TextTable table;
     table.setHeader({"app", "streaming data", "> 16KB?", "> 48KB L1?"});
     int over16 = 0;
     int over48 = 0;
-    for (const AppProfile &app : benchmarkSuite()) {
-        const AppCharacter character = characterizeApp(app);
-        const double bytes = character.streamingBytes();
+    std::vector<double> streaming;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const double bytes = characters[i].streamingBytes();
+        streaming.push_back(bytes);
         over16 += bytes > 16.0 * 1024 ? 1 : 0;
         over48 += bytes > 48.0 * 1024 ? 1 : 0;
-        table.addRow({app.id, fmtKb(bytes),
+        table.addRow({apps[i].id, fmtKb(bytes),
                       bytes > 16.0 * 1024 ? "yes" : "no",
                       bytes > 48.0 * 1024 ? "yes" : "no"});
     }
     std::fputs(table.render().c_str(), stdout);
     std::printf("\n  apps streaming > 16KB per window: paper 9/20, "
-                "measured %d/20\n",
-                over16);
+                "measured %d/%zu\n",
+                over16, apps.size());
     std::printf("  apps whose streams exceed the 48KB L1: paper 5/20, "
-                "measured %d/20\n",
-                over48);
+                "measured %d/%zu\n",
+                over48, apps.size());
+
+    if (opts.writeJson) {
+        std::ofstream out(opts.jsonPath);
+        if (out) {
+            JsonWriter json(out);
+            json.beginObject();
+            json.field("bench", opts.benchName);
+            json.field("schemaVersion", std::uint64_t{1});
+            json.field("smoke", opts.smoke);
+            json.beginArrayField("cells");
+            for (std::size_t i = 0; i < apps.size(); ++i) {
+                json.beginObject();
+                json.field("app", apps[i].id);
+                json.field("ok", true);
+                json.field("streamingBytes", streaming[i]);
+                json.endObject();
+            }
+            json.endArray();
+            json.endObject();
+        }
+    }
     return 0;
 }

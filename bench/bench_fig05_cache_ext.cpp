@@ -14,31 +14,36 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "fig05_cache_ext");
     printFigureBanner("Figure 5",
                       "Effect of an enhanced (register-extended) L1 "
                       "cache, normalized to baseline");
 
-    SimRunner runner = benchRunner();
-    ComparisonReport report;
-    report.setAppOrder(appOrder());
-
-    for (const AppProfile &app : benchmarkSuite()) {
-        report.add(app.id, "Baseline",
-                   runner.run(app, SchemeConfig::baseline()).ipc);
-        const SwlOracleResult oracle = findBestSwl(runner, app);
-        report.add(app.id, "Best-SWL", oracle.bestMetrics.ipc);
-        report.add(app.id, "CacheExt",
-                   runner.run(app, SchemeConfig::cacheExtension()).ipc);
-        report.add(app.id, "Best-SWL+CacheExt",
-                   runner.run(app, SchemeConfig::bestSwlCacheExt(
-                                       oracle.bestLimit))
-                       .ipc);
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBaseline(apps, SchemeConfig::baseline())
+        .withBestSwl(apps)
+        .crossApps(apps, {SchemeConfig::cacheExtension()});
+    // Best-SWL+CacheExt needs the oracle's warp limit; the sweep itself
+    // is memoized, so re-deriving it inside the cell costs one lookup.
+    for (const AppProfile &app : apps) {
+        plan.addCustom(app.id, "Best-SWL+CacheExt", {},
+                       [app](SimRunner &runner) {
+                           const SwlOracleResult oracle =
+                               findBestSwl(runner, app);
+                           return runner.run(
+                               app, SchemeConfig::bestSwlCacheExt(
+                                        oracle.bestLimit));
+                       });
     }
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+    const ComparisonReport report = reportFromCells(plan, results);
 
     std::fputs(report.renderNormalized("Baseline").c_str(), stdout);
 

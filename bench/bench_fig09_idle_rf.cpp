@@ -13,24 +13,32 @@
 #include "common/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "fig09_idle_rf");
     printFigureBanner("Figure 9",
                       "Idle register file used as victim space and "
                       "monitoring periods under Linebacker");
 
-    SimRunner runner = benchRunner();
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.crossApps(apps, {SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
     TextTable table;
     table.setHeader({"app", "static unused", "dynamic unused",
                      "victim space", "monitor periods"});
     double stat_sum = 0;
     double dyn_sum = 0;
     int within_two = 0;
-    for (const AppProfile &app : benchmarkSuite()) {
-        const RunMetrics m = runner.run(app, SchemeConfig::linebacker());
+    for (const CellResult &result : results) {
+        if (!result.ok)
+            continue;
+        const RunMetrics &m = result.metrics;
         const double stat_b =
             m.stats.avgStaticallyUnusedRegisters * kLineBytes;
         const double dyn_b =
@@ -38,20 +46,20 @@ main()
         stat_sum += stat_b;
         dyn_sum += dyn_b;
         within_two += m.monitoringWindows <= 2 ? 1 : 0;
-        table.addRow({app.id, fmtKb(stat_b), fmtKb(dyn_b),
+        table.addRow({result.app, fmtKb(stat_b), fmtKb(dyn_b),
                       fmtKb(m.avgVictimRegs * kLineBytes),
                       "(" + std::to_string(m.monitoringWindows) + ")"});
     }
     std::fputs(table.render().c_str(), stdout);
 
-    const double n = static_cast<double>(benchmarkSuite().size());
+    const double n = static_cast<double>(apps.size());
     std::printf("\nPaper vs measured:\n");
     printPaperVsMeasured("avg static unused space (KB)", 88.5,
                          stat_sum / n / 1024.0, "");
     printPaperVsMeasured("avg dynamic unused space (KB)", 48.5,
                          dyn_sum / n / 1024.0, "");
     std::printf("  apps selecting loads within two periods: measured "
-                "%d/20 (paper: most)\n",
-                within_two);
+                "%d/%d (paper: most)\n",
+                within_two, static_cast<int>(n));
     return 0;
 }

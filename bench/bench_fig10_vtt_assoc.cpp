@@ -14,40 +14,54 @@
 #include "common/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "fig10_vtt_assoc");
     printFigureBanner("Figure 10",
                       "VTT partition associativity: idle-RF utilization "
                       "(left) and performance vs Best-SWL (right)");
 
-    // Best-SWL reference with the default runner.
-    SimRunner reference = benchRunner();
-    ComparisonReport perf("speedup");
+    const std::vector<AppProfile> apps = benchApps(opts);
+    const std::vector<std::uint32_t> way_points = {1, 2, 4, 8, 16, 32};
+
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBestSwl(apps);
+    std::vector<SweepPoint> points;
+    for (std::uint32_t ways : way_points) {
+        points.push_back(
+            {std::to_string(ways) + "-way",
+             [ways](GpuConfig &, LbConfig &lb, RunnerOptions &) {
+                 lb.vttWays = ways;
+                 lb.vttMaxPartitions = 1536 / (48 * ways);
+             }});
+    }
+    plan.sweepParam(points, apps, {SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
     TextTable table;
     table.setHeader({"ways", "partitions", "RF utilization",
                      "speedup vs Best-SWL (GM)"});
-
     double best_speedup = 0.0;
     std::uint32_t best_ways = 0;
-    for (std::uint32_t ways : {1u, 2u, 4u, 8u, 16u, 32u}) {
-        LbConfig lb;
-        lb.vttWays = ways;
-        lb.vttMaxPartitions = 1536 / (48 * ways);
-        SimRunner runner(benchGpuConfig(), lb, benchRunnerOptions());
-
+    for (std::size_t p = 0; p < way_points.size(); ++p) {
+        const std::uint32_t ways = way_points[p];
         std::vector<double> ratios;
         std::vector<double> utils;
-        for (const AppProfile &app : benchmarkSuite()) {
-            const RunMetrics swl = bestSwlMetrics(reference, app);
-            const RunMetrics m =
-                runner.run(app, SchemeConfig::linebacker());
-            if (swl.ipc > 0)
-                ratios.push_back(m.ipc / swl.ipc);
-            if (m.victimSpaceUtilization > 0)
-                utils.push_back(m.victimSpaceUtilization);
+        for (const AppProfile &app : apps) {
+            const RunMetrics *swl =
+                findMetrics(results, app.id, "Best-SWL");
+            const RunMetrics *m = findMetrics(
+                results, app.id, "Linebacker", points[p].label);
+            if (!swl || !m)
+                continue;
+            if (swl->ipc > 0)
+                ratios.push_back(m->ipc / swl->ipc);
+            if (m->victimSpaceUtilization > 0)
+                utils.push_back(m->victimSpaceUtilization);
         }
         const double speedup = geomean(ratios);
         double util = 0;
@@ -58,8 +72,8 @@ main()
             best_speedup = speedup;
             best_ways = ways;
         }
-        table.addRow({std::to_string(ways) + "-way",
-                      std::to_string(lb.vttMaxPartitions),
+        table.addRow({points[p].label,
+                      std::to_string(1536 / (48 * ways)),
                       fmtPercent(util), fmtSpeedup(speedup)});
     }
     std::fputs(table.render().c_str(), stdout);

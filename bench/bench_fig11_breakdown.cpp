@@ -14,29 +14,27 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig11_breakdown");
     printFigureBanner("Figure 11",
                       "Linebacker technique breakdown (normalized to "
                       "Best-SWL)");
 
-    SimRunner runner = benchRunner();
-    ComparisonReport report;
-    report.setAppOrder(appOrder());
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBestSwl(apps)
+        .crossApps(apps, {SchemeConfig::victimCachingAll(),
+                          SchemeConfig::selectiveVictimCaching()});
+    for (const AppProfile &app : apps)
+        plan.add(app, SchemeConfig::linebacker(), {}, "Throttling+SVC");
 
-    for (const AppProfile &app : benchmarkSuite()) {
-        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
-        report.add(app.id, "Victim Caching",
-                   runner.run(app, SchemeConfig::victimCachingAll()).ipc);
-        report.add(
-            app.id, "Selective Victim Caching",
-            runner.run(app, SchemeConfig::selectiveVictimCaching()).ipc);
-        report.add(app.id, "Throttling+SVC",
-                   runner.run(app, SchemeConfig::linebacker()).ipc);
-    }
+    const std::vector<CellResult> results = runPlan(opts, plan);
+    const ComparisonReport report = reportFromCells(plan, results);
 
     std::fputs(report.renderNormalized("Best-SWL").c_str(), stdout);
 

@@ -12,29 +12,25 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig12_performance");
     printFigureBanner("Figure 12",
                       "Performance comparison (normalized to Best-SWL)");
 
-    SimRunner runner = benchRunner();
-    ComparisonReport report;
-    report.setAppOrder(appOrder());
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBaseline(apps, SchemeConfig::baseline())
+        .withBestSwl(apps)
+        .crossApps(apps, {SchemeConfig::pcal(), SchemeConfig::cerf(),
+                          SchemeConfig::linebacker()});
 
-    for (const AppProfile &app : benchmarkSuite()) {
-        report.add(app.id, "Baseline",
-                   runner.run(app, SchemeConfig::baseline()).ipc);
-        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
-        report.add(app.id, "PCAL",
-                   runner.run(app, SchemeConfig::pcal()).ipc);
-        report.add(app.id, "CERF",
-                   runner.run(app, SchemeConfig::cerf()).ipc);
-        report.add(app.id, "Linebacker",
-                   runner.run(app, SchemeConfig::linebacker()).ipc);
-    }
+    const std::vector<CellResult> results = runPlan(opts, plan);
+    const ComparisonReport report = reportFromCells(plan, results);
 
     std::fputs(report.renderNormalized("Best-SWL").c_str(), stdout);
 

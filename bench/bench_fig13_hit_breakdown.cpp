@@ -38,46 +38,55 @@ breakdownOf(const lbsim::RunMetrics &m)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig13_hit_breakdown");
     printFigureBanner("Figure 13",
                       "L1 hit / victim (Reg) hit / miss / bypass "
                       "breakdown (B: baseline, S: Best-SWL, P: PCAL, "
                       "C: CERF, L: Linebacker)");
 
-    SimRunner runner = benchRunner();
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    for (const AppProfile &app : apps) {
+        plan.add(app, SchemeConfig::baseline(), {}, "B");
+        // The oracle's warp limit is app-specific; derive it inside the
+        // cell (the sweep is memoized, so this costs lookups only).
+        plan.addCustom(app.id, "S", {}, [app](SimRunner &runner) {
+            const SwlOracleResult oracle = findBestSwl(runner, app);
+            return runner.run(app,
+                              SchemeConfig::bestSwl(oracle.bestLimit));
+        });
+        plan.add(app, SchemeConfig::pcal(), {}, "P");
+        plan.add(app, SchemeConfig::cerf(), {}, "C");
+        plan.add(app, SchemeConfig::linebacker(), {}, "L");
+    }
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
     TextTable table;
     table.setHeader({"app", "scheme", "L1 hit", "Reg hit", "miss",
                      "bypass"});
-
     Breakdown lb_sum;
     Breakdown cerf_sum;
-    const double n = static_cast<double>(benchmarkSuite().size());
-
-    for (const AppProfile &app : benchmarkSuite()) {
-        const std::pair<const char *, SchemeConfig> schemes[] = {
-            {"B", SchemeConfig::baseline()},
-            {"S", SchemeConfig::bestSwl(
-                      findBestSwl(runner, app).bestLimit)},
-            {"P", SchemeConfig::pcal()},
-            {"C", SchemeConfig::cerf()},
-            {"L", SchemeConfig::linebacker()},
-        };
-        for (const auto &[tag, scheme] : schemes) {
-            const Breakdown b = breakdownOf(runner.run(app, scheme));
-            table.addRow({app.id, tag, fmtPercent(b.hit),
-                          fmtPercent(b.regHit), fmtPercent(b.miss),
-                          fmtPercent(b.bypass)});
-            if (tag[0] == 'L') {
-                lb_sum.hit += b.hit;
-                lb_sum.regHit += b.regHit;
-            } else if (tag[0] == 'C') {
-                cerf_sum.hit += b.hit;
-                cerf_sum.regHit += b.regHit;
-            }
+    const double n = static_cast<double>(apps.size());
+    for (const CellResult &result : results) {
+        if (!result.ok)
+            continue;
+        const Breakdown b = breakdownOf(result.metrics);
+        table.addRow({result.app, result.scheme, fmtPercent(b.hit),
+                      fmtPercent(b.regHit), fmtPercent(b.miss),
+                      fmtPercent(b.bypass)});
+        if (result.scheme == "L") {
+            lb_sum.hit += b.hit;
+            lb_sum.regHit += b.regHit;
+        } else if (result.scheme == "C") {
+            cerf_sum.hit += b.hit;
+            cerf_sum.regHit += b.regHit;
         }
     }
     std::fputs(table.render().c_str(), stdout);

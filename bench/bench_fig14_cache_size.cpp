@@ -14,45 +14,63 @@
 #include "common/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "fig14_cache_size");
     printFigureBanner("Figure 14",
                       "Speedup vs same-cache-size baseline across L1 "
                       "sizes (geometric mean over the suite)");
 
+    const std::vector<AppProfile> apps = benchApps(opts);
+    const std::vector<std::uint32_t> sizes_kb = {16, 48, 64, 96, 128};
+
+    ExperimentPlan plan = benchPlan(opts);
+    std::vector<SweepPoint> points;
+    for (std::uint32_t kb : sizes_kb) {
+        points.push_back(
+            {std::to_string(kb) + "KB",
+             [kb](GpuConfig &cfg, LbConfig &, RunnerOptions &) {
+                 cfg.l1.sizeBytes = kb * 1024;
+             }});
+    }
+    plan.sweepParam(points, apps,
+                    {SchemeConfig::baseline(), SchemeConfig::cerf(),
+                     SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
     TextTable table;
     table.setHeader({"L1 size", "CERF", "Linebacker"});
-
     double lb16 = 0;
     double lb128 = 0;
-    for (std::uint32_t kb : {16u, 48u, 64u, 96u, 128u}) {
-        GpuConfig cfg = benchGpuConfig();
-        cfg.l1.sizeBytes = kb * 1024;
-        SimRunner runner(cfg, LbConfig{}, benchRunnerOptions());
-
+    for (std::size_t p = 0; p < sizes_kb.size(); ++p) {
+        const std::string &variant = points[p].label;
         std::vector<double> cerf_ratios;
         std::vector<double> lb_ratios;
-        for (const AppProfile &app : benchmarkSuite()) {
-            const double base =
-                runner.run(app, SchemeConfig::baseline()).ipc;
-            if (base <= 0)
+        for (const AppProfile &app : apps) {
+            const RunMetrics *base =
+                findMetrics(results, app.id, "Baseline", variant);
+            if (!base || base->ipc <= 0)
                 continue;
-            cerf_ratios.push_back(
-                runner.run(app, SchemeConfig::cerf()).ipc / base);
-            lb_ratios.push_back(
-                runner.run(app, SchemeConfig::linebacker()).ipc / base);
+            const RunMetrics *cerf =
+                findMetrics(results, app.id, "CERF", variant);
+            const RunMetrics *lb =
+                findMetrics(results, app.id, "Linebacker", variant);
+            if (cerf)
+                cerf_ratios.push_back(cerf->ipc / base->ipc);
+            if (lb)
+                lb_ratios.push_back(lb->ipc / base->ipc);
         }
         const double cerf_gm = geomean(cerf_ratios);
         const double lb_gm = geomean(lb_ratios);
-        if (kb == 16)
+        if (sizes_kb[p] == 16)
             lb16 = lb_gm;
-        if (kb == 128)
+        if (sizes_kb[p] == 128)
             lb128 = lb_gm;
-        table.addRow({std::to_string(kb) + "KB", fmtSpeedup(cerf_gm),
-                      fmtSpeedup(lb_gm)});
+        table.addRow({variant, fmtSpeedup(cerf_gm), fmtSpeedup(lb_gm)});
     }
     std::fputs(table.render().c_str(), stdout);
 

@@ -13,34 +13,30 @@
 #include "bench_common.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig15_combinations");
     printFigureBanner("Figure 15",
                       "Scheduling x cache-structure combinations "
                       "(normalized to Best-SWL)");
 
-    SimRunner runner = benchRunner();
-    ComparisonReport report;
-    report.setAppOrder(appOrder());
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBestSwl(apps);
+    for (const AppProfile &app : apps)
+        plan.add(app, SchemeConfig::selectiveVictimCaching(), {},
+                 "Baseline+SVC");
+    plan.crossApps(apps, {SchemeConfig::pcalCerf(),
+                          SchemeConfig::pcalSvc(),
+                          SchemeConfig::linebacker(),
+                          SchemeConfig::linebackerCacheExt()});
 
-    for (const AppProfile &app : benchmarkSuite()) {
-        report.add(app.id, "Best-SWL", bestSwlMetrics(runner, app).ipc);
-        report.add(
-            app.id, "Baseline+SVC",
-            runner.run(app, SchemeConfig::selectiveVictimCaching()).ipc);
-        report.add(app.id, "PCAL+CERF",
-                   runner.run(app, SchemeConfig::pcalCerf()).ipc);
-        report.add(app.id, "PCAL+SVC",
-                   runner.run(app, SchemeConfig::pcalSvc()).ipc);
-        report.add(app.id, "Linebacker",
-                   runner.run(app, SchemeConfig::linebacker()).ipc);
-        report.add(app.id, "LB+CacheExt",
-                   runner.run(app, SchemeConfig::linebackerCacheExt())
-                       .ipc);
-    }
+    const std::vector<CellResult> results = runPlan(opts, plan);
+    const ComparisonReport report = reportFromCells(plan, results);
 
     std::fputs(report.renderNormalized("Best-SWL").c_str(), stdout);
 

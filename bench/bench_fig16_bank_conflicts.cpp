@@ -14,37 +14,50 @@
 #include "common/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts =
+        parseBenchArgs(argc, argv, "fig16_bank_conflicts");
     printFigureBanner("Figure 16",
                       "Register-file bank conflicts (normalized to "
                       "baseline)");
 
-    SimRunner runner = benchRunner();
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBaseline(apps, SchemeConfig::baseline())
+        .crossApps(apps,
+                   {SchemeConfig::cerf(), SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
+    const auto conflicts = [](const RunMetrics &m) {
+        // Normalize by instructions so run length cancels out.
+        return m.stats.instructionsIssued
+                   ? static_cast<double>(m.stats.rfBankConflicts) /
+                         m.stats.instructionsIssued
+                   : 0.0;
+    };
+
     TextTable table;
     table.setHeader({"app", "CERF", "Linebacker"});
     std::vector<double> cerf_ratios;
     std::vector<double> lb_ratios;
-    for (const AppProfile &app : benchmarkSuite()) {
-        const auto conflicts = [](const RunMetrics &m) {
-            // Normalize by instructions so run length cancels out.
-            return m.stats.instructionsIssued
-                ? static_cast<double>(m.stats.rfBankConflicts) /
-                    m.stats.instructionsIssued
-                : 0.0;
-        };
-        const double base =
-            conflicts(runner.run(app, SchemeConfig::baseline()));
+    for (const AppProfile &app : apps) {
+        const RunMetrics *base_m =
+            findMetrics(results, app.id, "Baseline");
+        const RunMetrics *cerf_m = findMetrics(results, app.id, "CERF");
+        const RunMetrics *lb_m =
+            findMetrics(results, app.id, "Linebacker");
+        if (!base_m || !cerf_m || !lb_m)
+            continue;
+        const double base = conflicts(*base_m);
         if (base <= 0)
             continue;
-        const double cerf =
-            conflicts(runner.run(app, SchemeConfig::cerf())) / base;
-        const double lb =
-            conflicts(runner.run(app, SchemeConfig::linebacker())) /
-            base;
+        const double cerf = conflicts(*cerf_m) / base;
+        const double lb = conflicts(*lb_m) / base;
         cerf_ratios.push_back(cerf);
         lb_ratios.push_back(lb);
         table.addRow({app.id, fmtDouble(cerf), fmtDouble(lb)});

@@ -15,41 +15,54 @@
 #include "common/table.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "fig17_traffic");
     printFigureBanner("Figure 17",
                       "Off-chip memory traffic (normalized to "
                       "baseline)");
 
-    SimRunner runner = benchRunner();
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBaseline(apps, SchemeConfig::baseline())
+        .crossApps(apps,
+                   {SchemeConfig::cerf(), SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
+    // Traffic per instruction, so run length cancels out.
+    const auto traffic = [](const RunMetrics &m) {
+        return m.stats.instructionsIssued
+                   ? m.stats.dramTrafficBytes() /
+                         m.stats.instructionsIssued
+                   : 0.0;
+    };
+
     TextTable table;
     table.setHeader({"app", "CERF", "Linebacker", "LB overhead"});
     std::vector<double> cerf_ratios;
     std::vector<double> lb_ratios;
     double worst_overhead = 0.0;
-    for (const AppProfile &app : benchmarkSuite()) {
-        // Traffic per instruction, so run length cancels out.
-        const auto traffic = [](const RunMetrics &m) {
-            return m.stats.instructionsIssued
-                ? m.stats.dramTrafficBytes() / m.stats.instructionsIssued
-                : 0.0;
-        };
-        const double base =
-            traffic(runner.run(app, SchemeConfig::baseline()));
+    for (const AppProfile &app : apps) {
+        const RunMetrics *base_m =
+            findMetrics(results, app.id, "Baseline");
+        const RunMetrics *cerf_m = findMetrics(results, app.id, "CERF");
+        const RunMetrics *lb_m =
+            findMetrics(results, app.id, "Linebacker");
+        if (!base_m || !cerf_m || !lb_m)
+            continue;
+        const double base = traffic(*base_m);
         if (base <= 0)
             continue;
-        const RunMetrics cerf_m = runner.run(app, SchemeConfig::cerf());
-        const RunMetrics lb_m =
-            runner.run(app, SchemeConfig::linebacker());
-        const double cerf = traffic(cerf_m) / base;
-        const double lb = traffic(lb_m) / base;
+        const double cerf = traffic(*cerf_m) / base;
+        const double lb = traffic(*lb_m) / base;
         const double overhead =
-            static_cast<double>(lb_m.stats.dramBackupWrites +
-                                lb_m.stats.dramRestoreReads) /
-            std::max<std::uint64_t>(1, lb_m.stats.dramLineTransfers());
+            static_cast<double>(lb_m->stats.dramBackupWrites +
+                                lb_m->stats.dramRestoreReads) /
+            std::max<std::uint64_t>(1, lb_m->stats.dramLineTransfers());
         worst_overhead = std::max(worst_overhead, overhead);
         cerf_ratios.push_back(cerf);
         lb_ratios.push_back(lb);

@@ -14,38 +14,50 @@
 #include "power/energy_model.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
     using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "fig18_energy");
     printFigureBanner("Figure 18",
                       "Energy consumption (normalized to baseline)");
 
-    SimRunner runner = benchRunner();
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBaseline(apps, SchemeConfig::baseline())
+        .crossApps(apps,
+                   {SchemeConfig::cerf(), SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results = runPlan(opts, plan);
+
+    // Energy per instruction: fixed-cycle runs do equal-time, not
+    // equal-work, so per-work energy is the comparable quantity.
+    const auto epi = [](const RunMetrics &m) {
+        return m.stats.instructionsIssued
+                   ? m.energyJ / m.stats.instructionsIssued
+                   : 0.0;
+    };
+
     TextTable table;
     table.setHeader({"app", "CERF", "Linebacker"});
     std::vector<double> cerf_ratios;
     std::vector<double> lb_ratios;
-    for (const AppProfile &app : benchmarkSuite()) {
-        // Energy per instruction: fixed-cycle runs do equal-time, not
-        // equal-work, so per-work energy is the comparable quantity.
-        const auto epi = [](const RunMetrics &m) {
-            return m.stats.instructionsIssued
-                ? m.energyJ / m.stats.instructionsIssued
-                : 0.0;
-        };
-        const double base =
-            epi(runner.run(app, SchemeConfig::baseline()));
+    for (const AppProfile &app : apps) {
+        const RunMetrics *base_m =
+            findMetrics(results, app.id, "Baseline");
+        const RunMetrics *cerf_m = findMetrics(results, app.id, "CERF");
+        const RunMetrics *lb_m =
+            findMetrics(results, app.id, "Linebacker");
+        if (!base_m || !cerf_m || !lb_m)
+            continue;
+        const double base = epi(*base_m);
         if (base <= 0)
             continue;
-        const double cerf =
-            epi(runner.run(app, SchemeConfig::cerf())) / base;
-        const double lb =
-            epi(runner.run(app, SchemeConfig::linebacker())) / base;
-        cerf_ratios.push_back(cerf);
-        lb_ratios.push_back(lb);
-        table.addRow({app.id, fmtDouble(cerf), fmtDouble(lb)});
+        cerf_ratios.push_back(epi(*cerf_m) / base);
+        lb_ratios.push_back(epi(*lb_m) / base);
+        table.addRow({app.id, fmtDouble(cerf_ratios.back()),
+                      fmtDouble(lb_ratios.back())});
     }
     std::fputs(table.render().c_str(), stdout);
 

@@ -4,53 +4,78 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "harness/report.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
+    using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "table1_config");
     printFigureBanner("Table 1", "Simulation configuration");
 
     const GpuConfig cfg;
+    const std::vector<std::pair<std::string, std::string>> rows = {
+        {"# of SMs", std::to_string(cfg.numSms)},
+        {"Clock freq.", fmtDouble(cfg.clockGhz * 1000, 0) + " MHz"},
+        {"SIMD width", std::to_string(cfg.simdWidth)},
+        {"Max threads/warps/CTAs per SM",
+         std::to_string(cfg.maxThreadsPerSm) + "/" +
+             std::to_string(cfg.maxWarpsPerSm) + "/" +
+             std::to_string(cfg.maxCtasPerSm)},
+        {"Warp scheduling",
+         "GTO, " + std::to_string(cfg.schedulersPerSm) +
+             " schedulers per SM"},
+        {"Register file/SM", fmtKb(cfg.registerFileBytesPerSm)},
+        {"Shared memory/SM", fmtKb(cfg.sharedMemBytesPerSm)},
+        {"L1 cache size/SM",
+         fmtKb(cfg.l1.sizeBytes) + ", " + std::to_string(cfg.l1.ways) +
+             "-way, " + std::to_string(cfg.l1.lineBytes) + "B line, " +
+             std::to_string(cfg.l1MshrEntries) + " MSHRs"},
+        {"L2 shared cache",
+         std::to_string(cfg.l2.ways) + "-way, " + fmtKb(cfg.l2.sizeBytes)},
+        {"Off-chip DRAM bandwidth",
+         fmtDouble(cfg.dramBandwidthGBs, 1) + " GB/s"},
+        {"DRAM timing",
+         "RCD=" + std::to_string(cfg.dramTiming.rcd) +
+             ",RP=" + std::to_string(cfg.dramTiming.rp) +
+             ",RC=" + std::to_string(cfg.dramTiming.rc) +
+             ",RRD=" + fmtDouble(cfg.dramTiming.rrd, 1) +
+             ",CL=" + std::to_string(cfg.dramTiming.cl) +
+             ",WR=" + std::to_string(cfg.dramTiming.wr) +
+             ",RAS=" + std::to_string(cfg.dramTiming.ras)},
+    };
+
     TextTable table;
     table.setHeader({"parameter", "value"});
-    table.addRow({"# of SMs", std::to_string(cfg.numSms)});
-    table.addRow({"Clock freq.", fmtDouble(cfg.clockGhz * 1000, 0) +
-                                     " MHz"});
-    table.addRow({"SIMD width", std::to_string(cfg.simdWidth)});
-    table.addRow({"Max threads/warps/CTAs per SM",
-                  std::to_string(cfg.maxThreadsPerSm) + "/" +
-                      std::to_string(cfg.maxWarpsPerSm) + "/" +
-                      std::to_string(cfg.maxCtasPerSm)});
-    table.addRow({"Warp scheduling",
-                  "GTO, " + std::to_string(cfg.schedulersPerSm) +
-                      " schedulers per SM"});
-    table.addRow({"Register file/SM",
-                  fmtKb(cfg.registerFileBytesPerSm)});
-    table.addRow({"Shared memory/SM", fmtKb(cfg.sharedMemBytesPerSm)});
-    table.addRow({"L1 cache size/SM",
-                  fmtKb(cfg.l1.sizeBytes) + ", " +
-                      std::to_string(cfg.l1.ways) + "-way, " +
-                      std::to_string(cfg.l1.lineBytes) + "B line, " +
-                      std::to_string(cfg.l1MshrEntries) + " MSHRs"});
-    table.addRow({"L2 shared cache",
-                  std::to_string(cfg.l2.ways) + "-way, " +
-                      fmtKb(cfg.l2.sizeBytes)});
-    table.addRow({"Off-chip DRAM bandwidth",
-                  fmtDouble(cfg.dramBandwidthGBs, 1) + " GB/s"});
-    table.addRow({"DRAM timing",
-                  "RCD=" + std::to_string(cfg.dramTiming.rcd) +
-                      ",RP=" + std::to_string(cfg.dramTiming.rp) +
-                      ",RC=" + std::to_string(cfg.dramTiming.rc) +
-                      ",RRD=" + fmtDouble(cfg.dramTiming.rrd, 1) +
-                      ",CL=" + std::to_string(cfg.dramTiming.cl) +
-                      ",WR=" + std::to_string(cfg.dramTiming.wr) +
-                      ",RAS=" + std::to_string(cfg.dramTiming.ras)});
+    for (const auto &[parameter, value] : rows)
+        table.addRow({parameter, value});
     std::fputs(table.render().c_str(), stdout);
+
+    if (opts.writeJson) {
+        std::ofstream out(opts.jsonPath);
+        if (out) {
+            JsonWriter json(out);
+            json.beginObject();
+            json.field("bench", opts.benchName);
+            json.field("schemaVersion", std::uint64_t{1});
+            json.field("smoke", opts.smoke);
+            json.beginObjectField("config");
+            for (const auto &[parameter, value] : rows)
+                json.field(parameter, value);
+            json.endObject();
+            json.endObject();
+        }
+    }
     return 0;
 }

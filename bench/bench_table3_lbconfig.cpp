@@ -4,49 +4,73 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "harness/report.hpp"
 #include "power/energy_model.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lbsim;
+    using namespace lbsim::bench;
 
+    const BenchOptions opts = parseBenchArgs(argc, argv, "table3_lbconfig");
     printFigureBanner("Table 3",
                       "Microarchitectural configuration of Linebacker");
 
     const LbConfig lb;
     const EnergyParams energy;
+    const std::vector<std::pair<std::string, std::string>> rows = {
+        {"IPC & per-load locality monitoring period",
+         std::to_string(lb.monitorPeriod) + " cycles"},
+        {"Cache hit threshold", fmtPercent(lb.hitRatioThreshold, 0)},
+        {"IPC variation bounds",
+         "Upper: " + fmtDouble(lb.ipcVarUpper, 2) +
+             ", Lower: " + fmtDouble(lb.ipcVarLower, 2)},
+        {"VTT configuration",
+         std::to_string(lb.vttWays) + "-way set-associative VP / " +
+             std::to_string(lb.vttMaxPartitions) + " VPs"},
+        {"VP access latency",
+         std::to_string(lb.vttAccessLatency) + " cycles"},
+        {"Load Monitor entries", std::to_string(lb.loadMonitorEntries)},
+        {"Backup buffer entries",
+         std::to_string(lb.backupBufferEntries)},
+        {"CTA manager access energy",
+         fmtDouble(energy.ctaManagerAccessPj, 2) + " pJ"},
+        {"HPC access energy", fmtDouble(energy.hpcAccessPj, 2) + " pJ"},
+        {"LM access energy",
+         fmtDouble(energy.loadMonitorAccessPj, 2) + " pJ"},
+        {"VTT access energy", fmtDouble(energy.vttAccessPj, 2) + " pJ"},
+    };
+
     TextTable table;
     table.setHeader({"parameter", "value"});
-    table.addRow({"IPC & per-load locality monitoring period",
-                  std::to_string(lb.monitorPeriod) + " cycles"});
-    table.addRow({"Cache hit threshold",
-                  fmtPercent(lb.hitRatioThreshold, 0)});
-    table.addRow({"IPC variation bounds",
-                  "Upper: " + fmtDouble(lb.ipcVarUpper, 2) +
-                      ", Lower: " + fmtDouble(lb.ipcVarLower, 2)});
-    table.addRow({"VTT configuration",
-                  std::to_string(lb.vttWays) +
-                      "-way set-associative VP / " +
-                      std::to_string(lb.vttMaxPartitions) + " VPs"});
-    table.addRow({"VP access latency",
-                  std::to_string(lb.vttAccessLatency) + " cycles"});
-    table.addRow({"Load Monitor entries",
-                  std::to_string(lb.loadMonitorEntries)});
-    table.addRow({"Backup buffer entries",
-                  std::to_string(lb.backupBufferEntries)});
-    table.addRow({"CTA manager access energy",
-                  fmtDouble(energy.ctaManagerAccessPj, 2) + " pJ"});
-    table.addRow({"HPC access energy",
-                  fmtDouble(energy.hpcAccessPj, 2) + " pJ"});
-    table.addRow({"LM access energy",
-                  fmtDouble(energy.loadMonitorAccessPj, 2) + " pJ"});
-    table.addRow({"VTT access energy",
-                  fmtDouble(energy.vttAccessPj, 2) + " pJ"});
+    for (const auto &[parameter, value] : rows)
+        table.addRow({parameter, value});
     std::fputs(table.render().c_str(), stdout);
+
+    if (opts.writeJson) {
+        std::ofstream out(opts.jsonPath);
+        if (out) {
+            JsonWriter json(out);
+            json.beginObject();
+            json.field("bench", opts.benchName);
+            json.field("schemaVersion", std::uint64_t{1});
+            json.field("smoke", opts.smoke);
+            json.beginObjectField("config");
+            for (const auto &[parameter, value] : rows)
+                json.field(parameter, value);
+            json.endObject();
+            json.endObject();
+        }
+    }
     return 0;
 }

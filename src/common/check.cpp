@@ -11,9 +11,12 @@ namespace lbsim
 namespace
 {
 
-CheckContext g_context;
-std::function<std::string()> g_stateDump;
-CheckFailureHandler g_handler;
+// Thread-local so concurrent simulations (experiment-engine workers each
+// cycling their own Gpu) keep independent failure context; a scope set
+// on one worker never leaks into another's report.
+thread_local CheckContext g_context;
+thread_local std::function<std::string()> g_stateDump;
+thread_local CheckFailureHandler g_handler;
 
 } // namespace
 

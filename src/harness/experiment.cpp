@@ -1,0 +1,254 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/oracle.hpp"
+
+namespace lbsim
+{
+
+ExperimentPlan::ExperimentPlan(GpuConfig gpu, LbConfig lb,
+                               RunnerOptions options)
+    : gpu_(gpu), lb_(lb), options_(options)
+{
+}
+
+ExperimentPlan &
+ExperimentPlan::add(const AppProfile &app, const SchemeConfig &scheme,
+                    const std::string &variant, const std::string &label)
+{
+    ExperimentCell cell;
+    cell.app = app.id;
+    cell.scheme = label.empty() ? scheme.name : label;
+    cell.variant = variant;
+    cell.gpu = gpu_;
+    cell.lb = lb_;
+    cell.options = options_;
+    cell.body = [app, scheme](SimRunner &runner) {
+        return runner.run(app, scheme);
+    };
+    cells_.push_back(std::move(cell));
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::addCustom(std::string app, std::string scheme,
+                          std::string variant,
+                          std::function<RunMetrics(SimRunner &)> body)
+{
+    ExperimentCell cell;
+    cell.app = std::move(app);
+    cell.scheme = std::move(scheme);
+    cell.variant = std::move(variant);
+    cell.gpu = gpu_;
+    cell.lb = lb_;
+    cell.options = options_;
+    cell.body = std::move(body);
+    cells_.push_back(std::move(cell));
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::addBestSwl(const AppProfile &app, const std::string &label,
+                           const std::string &variant)
+{
+    return addCustom(app.id, label, variant,
+                     [app, label](SimRunner &runner) {
+                         RunMetrics m = findBestSwl(runner, app).bestMetrics;
+                         m.schemeName = label;
+                         return m;
+                     });
+}
+
+ExperimentPlan &
+ExperimentPlan::crossApps(const std::vector<AppProfile> &apps,
+                          const std::vector<SchemeConfig> &schemes)
+{
+    // Scheme-major order keeps scheme columns grouped (first-appearance
+    // order matches the order schemes were passed in).
+    for (const SchemeConfig &scheme : schemes) {
+        for (const AppProfile &app : apps)
+            add(app, scheme);
+    }
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::withBaseline(const std::vector<AppProfile> &apps,
+                             const SchemeConfig &reference)
+{
+    reference_ = reference.name;
+    for (const AppProfile &app : apps)
+        add(app, reference);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::withBestSwl(const std::vector<AppProfile> &apps,
+                            const std::string &label)
+{
+    for (const AppProfile &app : apps)
+        addBestSwl(app, label);
+    return *this;
+}
+
+ExperimentPlan &
+ExperimentPlan::sweepParam(const std::vector<SweepPoint> &points,
+                           const std::vector<AppProfile> &apps,
+                           const std::vector<SchemeConfig> &schemes)
+{
+    for (const SweepPoint &point : points) {
+        GpuConfig gpu = gpu_;
+        LbConfig lb = lb_;
+        RunnerOptions options = options_;
+        if (point.apply)
+            point.apply(gpu, lb, options);
+        for (const SchemeConfig &scheme : schemes) {
+            for (const AppProfile &app : apps) {
+                ExperimentCell cell;
+                cell.app = app.id;
+                cell.scheme = scheme.name;
+                cell.variant = point.label;
+                cell.gpu = gpu;
+                cell.lb = lb;
+                cell.options = options;
+                cell.body = [app, scheme](SimRunner &runner) {
+                    return runner.run(app, scheme);
+                };
+                cells_.push_back(std::move(cell));
+            }
+        }
+    }
+    return *this;
+}
+
+namespace
+{
+
+std::vector<std::string>
+distinctInOrder(const std::vector<ExperimentCell> &cells,
+                std::string ExperimentCell::*member)
+{
+    std::vector<std::string> order;
+    for (const ExperimentCell &cell : cells) {
+        const std::string &name = cell.*member;
+        if (std::find(order.begin(), order.end(), name) == order.end())
+            order.push_back(name);
+    }
+    return order;
+}
+
+} // namespace
+
+std::vector<std::string>
+ExperimentPlan::appOrder() const
+{
+    return distinctInOrder(cells_, &ExperimentCell::app);
+}
+
+std::vector<std::string>
+ExperimentPlan::schemeOrder() const
+{
+    return distinctInOrder(cells_, &ExperimentCell::scheme);
+}
+
+ExperimentEngine::ExperimentEngine(EngineOptions options)
+    : options_(std::move(options))
+{
+}
+
+unsigned
+ExperimentEngine::hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+unsigned
+ExperimentEngine::effectiveThreads(std::size_t cells) const
+{
+    unsigned threads =
+        options_.threads ? options_.threads : hardwareThreads();
+    threads = std::max(1u, threads);
+    return static_cast<unsigned>(
+        std::min<std::size_t>(threads, std::max<std::size_t>(1, cells)));
+}
+
+std::vector<CellResult>
+ExperimentEngine::run(const ExperimentPlan &plan) const
+{
+    const std::size_t total = plan.size();
+    std::vector<CellResult> results(total);
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::mutex report_mutex;
+
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= total)
+                return;
+            const ExperimentCell &cell = plan.cells()[i];
+            CellResult &result = results[i];
+            result.index = i;
+            result.app = cell.app;
+            result.scheme = cell.scheme;
+            result.variant = cell.variant;
+            try {
+                // Worker-private runner: cells never share mutable
+                // simulator state, only the thread-safe memo cache.
+                SimRunner runner(cell.gpu, cell.lb, cell.options);
+                result.metrics = cell.body(runner);
+                result.ok = true;
+            } catch (const std::exception &e) {
+                result.error = e.what();
+            } catch (...) {
+                result.error = "unknown exception";
+            }
+
+            const std::size_t done = completed.fetch_add(1) + 1;
+            std::lock_guard<std::mutex> lock(report_mutex);
+            if (options_.onCellDone)
+                options_.onCellDone(result, done, total);
+            if (options_.printProgress) {
+                std::fprintf(stderr, "[%zu/%zu] %s / %s%s%s%s%s\n", done,
+                             total, result.app.c_str(),
+                             result.scheme.c_str(),
+                             result.variant.empty() ? "" : " @ ",
+                             result.variant.c_str(),
+                             result.ok ? "" : "  FAILED: ",
+                             result.ok ? "" : result.error.c_str());
+            }
+        }
+    };
+
+    const unsigned threads = effectiveThreads(total);
+    if (threads <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(work);
+        for (std::thread &worker : pool)
+            worker.join();
+    }
+    return results;
+}
+
+const RunMetrics *
+findMetrics(const std::vector<CellResult> &results, const std::string &app,
+            const std::string &scheme, const std::string &variant)
+{
+    for (const CellResult &result : results) {
+        if (result.ok && result.app == app && result.scheme == scheme &&
+            result.variant == variant) {
+            return &result.metrics;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace lbsim

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <memory>
 
 namespace lbsim
 {
@@ -17,10 +19,20 @@ fnv1a(const std::string &data)
     return hash;
 }
 
+const char *
+MemoCache::schemaHeader()
+{
+    // Bump the trailing number whenever the on-disk format (not the key
+    // semantics — those live in the key hash) changes; files carrying a
+    // different header are discarded instead of misread.
+    return "#lbsim-memo-schema 2";
+}
+
 MemoCache::MemoCache(std::string path) : path_(std::move(path))
 {
     const char *disable = std::getenv("LBSIM_NO_CACHE");
     enabled_ = !(disable && disable[0] == '1');
+    load();
 }
 
 std::string
@@ -31,24 +43,71 @@ MemoCache::defaultPath()
     return "lbsim_simcache.csv";
 }
 
+MemoCache &
+MemoCache::shared()
+{
+    static std::mutex registry_mutex;
+    static std::map<std::string, std::unique_ptr<MemoCache>> registry;
+    const std::string path = defaultPath();
+    std::lock_guard<std::mutex> lock(registry_mutex);
+    auto it = registry.find(path);
+    if (it == registry.end()) {
+        it = registry
+                 .emplace(path, std::make_unique<MemoCache>(path))
+                 .first;
+    }
+    return *it->second;
+}
+
+void
+MemoCache::load()
+{
+    if (!enabled_)
+        return;
+    std::ifstream in(path_);
+    if (!in)
+        return;
+    std::string line;
+    if (!std::getline(in, line) || line != schemaHeader()) {
+        // Unversioned or foreign-schema file: ignore its contents and
+        // start over on the first store.
+        rewriteOnStore_ = true;
+        return;
+    }
+    while (std::getline(in, line)) {
+        const auto sep = line.find('|');
+        if (sep == std::string::npos)
+            continue;
+        // Last write wins, matching append order.
+        entries_[line.substr(0, sep)] = line.substr(sep + 1);
+    }
+}
+
 std::optional<std::string>
 MemoCache::lookup(const std::string &key) const
 {
     if (!enabled_)
         return std::nullopt;
-    std::ifstream in(path_);
-    if (!in)
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
         return std::nullopt;
-    std::string line;
-    std::optional<std::string> found;
-    while (std::getline(in, line)) {
-        const auto sep = line.find('|');
-        if (sep == std::string::npos)
-            continue;
-        if (line.compare(0, sep, key) == 0)
-            found = line.substr(sep + 1); // Last write wins.
+    return it->second;
+}
+
+void
+MemoCache::append(const std::string &key, const std::string &value)
+{
+    // Caller holds mutex_.
+    const bool fresh = rewriteOnStore_ || !std::ifstream(path_).good();
+    std::ofstream out(path_, fresh ? std::ios::trunc : std::ios::app);
+    if (!out)
+        return;
+    if (fresh) {
+        out << schemaHeader() << '\n';
+        rewriteOnStore_ = false;
     }
-    return found;
+    out << key << '|' << value << '\n';
 }
 
 void
@@ -56,9 +115,53 @@ MemoCache::store(const std::string &key, const std::string &value)
 {
     if (!enabled_)
         return;
-    std::ofstream out(path_, std::ios::app);
-    if (out)
-        out << key << '|' << value << '\n';
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key] = value;
+    append(key, value);
+}
+
+std::string
+MemoCache::getOrCompute(const std::string &key,
+                        const std::function<std::string()> &compute)
+{
+    if (!enabled_)
+        return compute();
+
+    std::shared_future<std::string> waiter;
+    std::promise<std::string> promise;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto hit = entries_.find(key);
+        if (hit != entries_.end())
+            return hit->second;
+        const auto flight = inflight_.find(key);
+        if (flight != inflight_.end()) {
+            waiter = flight->second;
+        } else {
+            inflight_.emplace(key, promise.get_future().share());
+        }
+    }
+    if (waiter.valid())
+        return waiter.get(); // May rethrow the winner's exception.
+
+    try {
+        std::string value = compute();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_[key] = value;
+            append(key, value);
+            inflight_.erase(key);
+        }
+        promise.set_value(value);
+        return value;
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
 }
 
 } // namespace lbsim

@@ -5,41 +5,85 @@
  * Benches share an oracle (Best-SWL sweep) and many (app, scheme, config)
  * runs; with every bench a separate process, a small on-disk cache keyed
  * by a config hash avoids re-simulating identical points. Entries are
- * invalidated implicitly by the key hash covering all relevant inputs.
+ * invalidated implicitly by the key hash covering all relevant inputs,
+ * and explicitly by a schema-version header: a cache file written by an
+ * older (or newer) build is discarded wholesale rather than misread.
+ *
+ * The store is thread-safe with single-writer semantics: the whole file
+ * is loaded into memory once, lookups are in-memory map reads, and all
+ * mutations (map insert + file append) happen under one mutex. In
+ * addition, getOrCompute() deduplicates in-flight computations, so when
+ * several experiment-engine workers race toward the same cell (e.g. the
+ * shared Best-SWL oracle sweep) the simulation is paid exactly once and
+ * the losers block on the winner's result.
+ *
  * Set environment variable LBSIM_NO_CACHE=1 to bypass.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 
 namespace lbsim
 {
 
-/** Simple CSV-backed key/value store for run metrics. */
+/** Thread-safe key/value store for run metrics, persisted to a file. */
 class MemoCache
 {
   public:
     /** @param path Cache file location (created lazily). */
     explicit MemoCache(std::string path);
 
-    /** Look up @p key; returns the stored values if present. */
+    /** Look up @p key; returns the stored value if present. */
     std::optional<std::string> lookup(const std::string &key) const;
 
     /** Store @p value under @p key (appends to the file). */
     void store(const std::string &key, const std::string &value);
 
-    /** True if the cache is usable (directory exists, not disabled). */
+    /**
+     * Return the cached value for @p key, computing and storing it via
+     * @p compute on a miss. Concurrent callers with the same key share
+     * one computation (single-flight); if it throws, every waiter sees
+     * the exception and the key stays uncached.
+     */
+    std::string getOrCompute(const std::string &key,
+                             const std::function<std::string()> &compute);
+
+    /** True if the cache is usable (not disabled via LBSIM_NO_CACHE). */
     bool enabled() const { return enabled_; }
 
     /** Default cache location (next to the running binary). */
     static std::string defaultPath();
 
+    /**
+     * Process-wide cache instance for the current defaultPath(). One
+     * instance per distinct path, so tests that redirect
+     * LBSIM_CACHE_PATH mid-process get their own store.
+     */
+    static MemoCache &shared();
+
+    /** Version tag written as the first line of every cache file. */
+    static const char *schemaHeader();
+
   private:
+    void load();
+    void append(const std::string &key, const std::string &value);
+
     std::string path_;
     bool enabled_;
+    /** File needs rewriting before the first append (bad/old schema). */
+    bool rewriteOnStore_ = false;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::string> entries_;
+    std::unordered_map<std::string, std::shared_future<std::string>>
+        inflight_;
 };
 
 /** FNV-1a of @p data, for building cache keys. */

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
 
 namespace lbsim
 {
@@ -115,6 +119,109 @@ ComparisonReport::geomeanVs(const std::string &scheme,
             ratios.push_back(val / ref);
     }
     return geomean(ratios);
+}
+
+ComparisonReport
+reportFromCells(const ExperimentPlan &plan,
+                const std::vector<CellResult> &results,
+                const std::function<double(const RunMetrics &)> &metric,
+                const std::string &variant)
+{
+    ComparisonReport report;
+    report.setAppOrder(plan.appOrder());
+    report.setSchemeOrder(plan.schemeOrder());
+    for (const CellResult &result : results) {
+        if (!result.ok || result.variant != variant)
+            continue;
+        const double value =
+            metric ? metric(result.metrics) : result.metrics.ipc;
+        report.add(result.app, result.scheme, value);
+    }
+    return report;
+}
+
+void
+writeExperimentJson(const std::string &path, const std::string &bench,
+                    bool smoke, const std::vector<CellResult> &results)
+{
+    std::ofstream out(path);
+    if (!out) {
+        logMessage(LogLevel::Warn, "cannot write %s", path.c_str());
+        return;
+    }
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("bench", bench);
+    json.field("schemaVersion", std::uint64_t{1});
+    json.field("smoke", smoke);
+    json.beginArrayField("cells");
+    for (const CellResult &result : results) {
+        json.beginObject();
+        json.field("app", result.app);
+        json.field("scheme", result.scheme);
+        if (!result.variant.empty())
+            json.field("variant", result.variant);
+        json.field("ok", result.ok);
+        if (!result.ok) {
+            json.field("error", result.error);
+            json.endObject();
+            continue;
+        }
+        const RunMetrics &m = result.metrics;
+        json.field("ipc", m.ipc);
+        json.field("energyJ", m.energyJ);
+        json.field("avgVictimRegs", m.avgVictimRegs);
+        json.field("monitoringWindows", m.monitoringWindows);
+        json.field("victimSpaceUtilization", m.victimSpaceUtilization);
+        const SimStats &s = m.stats;
+        json.beginObjectField("stats");
+        json.field("cycles", static_cast<std::uint64_t>(s.cycles));
+        json.field("instructionsIssued", s.instructionsIssued);
+        json.field("warpInstructionsRetired", s.warpInstructionsRetired);
+        json.field("ctasCompleted", s.ctasCompleted);
+        json.field("l1Hits", s.l1.l1Hits);
+        json.field("regHits", s.l1.regHits);
+        json.field("misses", s.l1.misses);
+        json.field("bypasses", s.l1.bypasses);
+        json.field("coldMisses", s.coldMisses);
+        json.field("capacityMisses", s.capacityMisses);
+        json.field("evictions", s.evictions);
+        json.field("writeEvicts", s.writeEvicts);
+        json.field("writeNoAllocates", s.writeNoAllocates);
+        json.field("victimLinesStored", s.victimLinesStored);
+        json.field("victimStoreRejected", s.victimStoreRejected);
+        json.field("victimInvalidations", s.victimInvalidations);
+        json.field("vttProbes", s.vttProbes);
+        json.field("vttProbeCycles", s.vttProbeCycles);
+        json.field("loadLatencySum", s.loadLatencySum);
+        json.field("loadsCompleted", s.loadsCompleted);
+        json.field("rfAccesses", s.rfAccesses);
+        json.field("rfBankConflicts", s.rfBankConflicts);
+        json.field("rfVictimAccesses", s.rfVictimAccesses);
+        json.field("l2Accesses", s.l2Accesses);
+        json.field("l2Hits", s.l2Hits);
+        json.field("dramReads", s.dramReads);
+        json.field("dramWrites", s.dramWrites);
+        json.field("dramBackupWrites", s.dramBackupWrites);
+        json.field("dramRestoreReads", s.dramRestoreReads);
+        json.field("dramRowHits", s.dramRowHits);
+        json.field("dramRowMisses", s.dramRowMisses);
+        json.field("ctaThrottleEvents", s.ctaThrottleEvents);
+        json.field("ctaActivateEvents", s.ctaActivateEvents);
+        json.field("monitoringPeriods", s.monitoringPeriods);
+        json.field("selectedLoads", s.selectedLoads);
+        json.field("avgActiveRegisters", s.avgActiveRegisters);
+        json.field("avgVictimRegisters", s.avgVictimRegisters);
+        json.field("avgStaticallyUnusedRegisters",
+                   s.avgStaticallyUnusedRegisters);
+        json.field("avgDynamicallyUnusedRegisters",
+                   s.avgDynamicallyUnusedRegisters);
+        json.endObject();
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << '\n';
 }
 
 void

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/table.hpp"
+#include "harness/experiment.hpp"
 #include "harness/sim_runner.hpp"
 
 namespace lbsim
@@ -64,6 +65,30 @@ class ComparisonReport
     std::vector<std::string> schemeOrder_;
     std::map<std::string, std::map<std::string, double>> values_;
 };
+
+/**
+ * Build a ComparisonReport from engine results, row/column order taken
+ * from @p plan. Only cells matching @p variant contribute (the empty
+ * default selects non-sweep cells); failed cells are skipped.
+ *
+ * @param metric Value extracted per cell; IPC when not provided.
+ */
+ComparisonReport
+reportFromCells(const ExperimentPlan &plan,
+                const std::vector<CellResult> &results,
+                const std::function<double(const RunMetrics &)> &metric = {},
+                const std::string &variant = {});
+
+/**
+ * Write per-cell results as BENCH_<name>.json-style machine-readable
+ * output: one record per cell with app/scheme/variant, derived metrics,
+ * and the full SimStats counter set. Intentionally excludes runtime
+ * facts like thread count so N-thread and 1-thread runs emit identical
+ * bytes.
+ */
+void writeExperimentJson(const std::string &path,
+                         const std::string &bench, bool smoke,
+                         const std::vector<CellResult> &results);
 
 /** Print a figure banner ("=== Figure 12: ... ==="). */
 void printFigureBanner(const std::string &figure,

@@ -19,7 +19,7 @@ namespace
 {
 
 /** Bump when simulator/workload semantics change to invalidate caches. */
-constexpr const char *kCacheVersion = "lbsim-v8";
+constexpr const char *kCacheVersion = "lbsim-v9";
 
 /** DUR bytes implied by a static warp limit (Best-SWL+CacheExt sizing). */
 std::uint32_t
@@ -52,29 +52,49 @@ describeApp(const AppProfile &app)
 {
     std::ostringstream out;
     out << app.id << ';' << app.aluPerLoad << ';' << app.loadsBackToBack
-        << ';' << app.hasStore << ';' << app.warpsPerCta << ';'
-        << app.regsPerWarp << ';' << app.sharedMemPerCta << ';'
-        << app.iterations << ';' << app.ctasPerSmOfGrid << ';'
-        << app.seed;
+        << ';' << app.hasStore << ';' << app.storeEveryN << ';'
+        << app.warpsPerCta << ';' << app.regsPerWarp << ';'
+        << app.sharedMemPerCta << ';' << app.iterations << ';'
+        << app.ctasPerSmOfGrid << ';' << app.seed;
     for (const LoadSpec &load : app.loads) {
         out << ";L" << static_cast<int>(load.cls) << ',' << load.lines
             << ',' << static_cast<int>(load.scope) << ',' << load.fanout
-            << ',' << load.hotLines << ',' << load.hotProbability;
+            << ',' << load.hotLines << ',' << load.hotProbability << ','
+            << load.everyN;
     }
     return out.str();
 }
 
+/**
+ * Every configuration field that can change simulation results must
+ * appear here: a sweep that mutates a non-keyed field would silently
+ * return stale cache hits. The only deliberate exclusions are
+ * GpuConfig::auditStride (debugging knob with no architectural effect)
+ * and RunnerOptions::useMemoCache (meta).
+ */
 std::string
 describeConfig(const GpuConfig &cfg, const LbConfig &lb,
                const RunnerOptions &options, const SchemeConfig &scheme)
 {
     std::ostringstream out;
-    out << cfg.numSms << ';' << cfg.l1.sizeBytes << ';' << cfg.l1.ways
-        << ';' << cfg.l2.sizeBytes << ';' << cfg.maxWarpsPerSm << ';'
-        << cfg.registerFileBytesPerSm << ';' << cfg.dramBandwidthGBs
-        << ';' << cfg.maxCycles << ';' << cfg.warmupCycles << ';'
-        << cfg.l1HitLatency << ';' << cfg.l2Latency << ';'
-        << options.simSms << ';' << options.maxCycles;
+    out << cfg.numSms << ';' << cfg.clockGhz << ';' << cfg.simdWidth
+        << ';' << cfg.maxThreadsPerSm << ';' << cfg.maxWarpsPerSm << ';'
+        << cfg.maxCtasPerSm << ';' << cfg.schedulersPerSm << ';'
+        << cfg.registerFileBytesPerSm << ';' << cfg.registerFileBanks
+        << ';' << cfg.sharedMemBytesPerSm << ';' << cfg.l1.sizeBytes
+        << ';' << cfg.l1.ways << ';' << cfg.l1.lineBytes << ';'
+        << cfg.l1MshrEntries << ';' << cfg.l1MshrMergesPerEntry << ';'
+        << cfg.l1HitLatency << ';' << cfg.l2.sizeBytes << ';'
+        << cfg.l2.ways << ';' << cfg.l2.lineBytes << ';'
+        << cfg.l2Latency << ';' << cfg.icntLatency << ';'
+        << cfg.numMemPartitions << ';' << cfg.dramBandwidthGBs << ';'
+        << cfg.dramTiming.rcd << ';' << cfg.dramTiming.rp << ';'
+        << cfg.dramTiming.rc << ';' << cfg.dramTiming.rrd << ';'
+        << cfg.dramTiming.cl << ';' << cfg.dramTiming.wr << ';'
+        << cfg.dramTiming.ras << ';' << cfg.dramQueueDepth << ';'
+        << cfg.cacheExtBytes << ';' << cfg.maxCycles << ';'
+        << cfg.warmupCycles << ';' << options.simSms << ';'
+        << options.maxCycles;
     // Linebacker constants only matter to schemes that run a victim
     // mechanism; keying them for every scheme would needlessly re-run
     // baselines across LbConfig sweeps.
@@ -83,9 +103,68 @@ describeConfig(const GpuConfig &cfg, const LbConfig &lb,
         out << ';' << lb.monitorPeriod << ';' << lb.hitRatioThreshold
             << ';' << lb.ipcVarUpper << ';' << lb.ipcVarLower << ';'
             << lb.vttWays << ';' << lb.vttMaxPartitions << ';'
-            << lb.vttAccessLatency << ';' << lb.victimRegOffset;
+            << lb.vttAccessLatency << ';' << lb.loadMonitorEntries << ';'
+            << lb.hashedPcBits << ';' << lb.backupBufferEntries << ';'
+            << lb.victimRegOffset;
     }
     return out.str();
+}
+
+/**
+ * Apply @p fn to every numeric field of @p m, in a fixed order shared by
+ * the serializer and the deserializer. Covering every SimStats counter
+ * matters: a field missing here would silently read as zero on a cache
+ * hit (this bit avgLoadLatency before loadLatencySum was serialized).
+ */
+template <typename Metrics, typename Fn>
+void
+visitMetricFields(Metrics &m, Fn &&fn)
+{
+    auto &s = m.stats;
+    fn(m.ipc);
+    fn(m.energyJ);
+    fn(m.avgVictimRegs);
+    fn(m.monitoringWindows);
+    fn(m.victimSpaceUtilization);
+    fn(s.cycles);
+    fn(s.instructionsIssued);
+    fn(s.warpInstructionsRetired);
+    fn(s.ctasCompleted);
+    fn(s.l1.l1Hits);
+    fn(s.l1.regHits);
+    fn(s.l1.misses);
+    fn(s.l1.bypasses);
+    fn(s.coldMisses);
+    fn(s.capacityMisses);
+    fn(s.evictions);
+    fn(s.writeEvicts);
+    fn(s.writeNoAllocates);
+    fn(s.victimLinesStored);
+    fn(s.victimStoreRejected);
+    fn(s.victimInvalidations);
+    fn(s.vttProbes);
+    fn(s.vttProbeCycles);
+    fn(s.loadLatencySum);
+    fn(s.loadsCompleted);
+    fn(s.rfAccesses);
+    fn(s.rfBankConflicts);
+    fn(s.rfVictimAccesses);
+    fn(s.l2Accesses);
+    fn(s.l2Hits);
+    fn(s.dramReads);
+    fn(s.dramWrites);
+    fn(s.dramBackupWrites);
+    fn(s.dramRestoreReads);
+    fn(s.dramRowHits);
+    fn(s.dramRowMisses);
+    fn(s.ctaThrottleEvents);
+    fn(s.ctaActivateEvents);
+    fn(s.monitoringPeriods);
+    fn(s.selectedLoads);
+    fn(s.avgActiveRegisters);
+    fn(s.avgVictimRegisters);
+    fn(s.avgStaticallyUnusedRegisters);
+    fn(s.avgDynamicallyUnusedRegisters);
 }
 
 std::string
@@ -93,25 +172,13 @@ serializeMetrics(const RunMetrics &m)
 {
     std::ostringstream out;
     out.precision(17);
-    const SimStats &s = m.stats;
-    out << m.ipc << ',' << m.energyJ << ',' << m.avgVictimRegs << ','
-        << m.monitoringWindows << ',' << m.victimSpaceUtilization << ','
-        << s.cycles << ',' << s.instructionsIssued << ',' << s.l1.l1Hits
-        << ',' << s.l1.regHits << ',' << s.l1.misses << ','
-        << s.l1.bypasses << ',' << s.coldMisses << ','
-        << s.capacityMisses << ',' << s.evictions << ','
-        << s.victimLinesStored << ',' << s.vttProbes << ','
-        << s.rfAccesses << ',' << s.rfBankConflicts << ','
-        << s.dramReads << ',' << s.dramWrites << ','
-        << s.dramBackupWrites << ',' << s.dramRestoreReads << ','
-        << s.l2Accesses << ',' << s.l2Hits << ','
-        << s.ctaThrottleEvents << ',' << s.ctaActivateEvents << ','
-        << s.monitoringPeriods << ',' << s.selectedLoads << ','
-        << s.avgActiveRegisters << ','
-        << s.avgStaticallyUnusedRegisters << ','
-        << s.avgDynamicallyUnusedRegisters << ','
-        << s.writeEvicts << ',' << s.writeNoAllocates << ','
-        << s.victimInvalidations << ',' << s.rfVictimAccesses;
+    bool first = true;
+    visitMetricFields(m, [&out, &first](const auto &field) {
+        if (!first)
+            out << ',';
+        first = false;
+        out << field;
+    });
     return out.str();
 }
 
@@ -119,30 +186,14 @@ bool
 deserializeMetrics(const std::string &text, RunMetrics &m)
 {
     std::istringstream in(text);
-    SimStats &s = m.stats;
-    char c;
-    auto get = [&in, &c](auto &field) {
+    bool ok = true;
+    visitMetricFields(m, [&in, &ok](auto &field) {
+        char sep;
         in >> field;
-        in >> c;
-        return static_cast<bool>(in) || in.eof();
-    };
-    return get(m.ipc) && get(m.energyJ) && get(m.avgVictimRegs) &&
-        get(m.monitoringWindows) && get(m.victimSpaceUtilization) &&
-        get(s.cycles) && get(s.instructionsIssued) && get(s.l1.l1Hits) &&
-        get(s.l1.regHits) && get(s.l1.misses) && get(s.l1.bypasses) &&
-        get(s.coldMisses) && get(s.capacityMisses) && get(s.evictions) &&
-        get(s.victimLinesStored) && get(s.vttProbes) &&
-        get(s.rfAccesses) && get(s.rfBankConflicts) &&
-        get(s.dramReads) && get(s.dramWrites) &&
-        get(s.dramBackupWrites) && get(s.dramRestoreReads) &&
-        get(s.l2Accesses) && get(s.l2Hits) &&
-        get(s.ctaThrottleEvents) && get(s.ctaActivateEvents) &&
-        get(s.monitoringPeriods) && get(s.selectedLoads) &&
-        get(s.avgActiveRegisters) &&
-        get(s.avgStaticallyUnusedRegisters) &&
-        get(s.avgDynamicallyUnusedRegisters) && get(s.writeEvicts) &&
-        get(s.writeNoAllocates) && get(s.victimInvalidations) &&
-        get(s.rfVictimAccesses);
+        ok = ok && (static_cast<bool>(in) || in.eof());
+        in >> sep;
+    });
+    return ok;
 }
 
 } // namespace
@@ -173,7 +224,11 @@ SimRunner::run(const AppProfile &app, const SchemeConfig &scheme)
     if (!options_.useMemoCache)
         return runUncached(app, scheme);
 
-    MemoCache cache(MemoCache::defaultPath());
+    // One shared, thread-safe store per process: the file is parsed
+    // once, lookups are in-memory, and concurrent identical runs (e.g.
+    // oracle sweeps reached from several experiment cells) are paid
+    // once via the single-flight getOrCompute.
+    MemoCache &cache = MemoCache::shared();
     std::ostringstream key_src;
     key_src << kCacheVersion << '#' << describeApp(app) << '#'
             << describeScheme(scheme) << '#'
@@ -182,15 +237,19 @@ SimRunner::run(const AppProfile &app, const SchemeConfig &scheme)
     key << app.id << ':' << scheme.name << ':' << std::hex
         << fnv1a(key_src.str());
 
-    if (auto hit = cache.lookup(key.str())) {
-        RunMetrics metrics;
-        metrics.appId = app.id;
-        metrics.schemeName = scheme.name;
-        if (deserializeMetrics(*hit, metrics))
-            return metrics;
-    }
+    const std::string serialized = cache.getOrCompute(key.str(), [&] {
+        return serializeMetrics(runUncached(app, scheme));
+    });
 
-    RunMetrics metrics = runUncached(app, scheme);
+    RunMetrics metrics;
+    metrics.appId = app.id;
+    metrics.schemeName = scheme.name;
+    if (deserializeMetrics(serialized, metrics))
+        return metrics;
+
+    // Corrupt entry (e.g. truncated by a crashed writer): recompute and
+    // overwrite rather than propagating zeros.
+    metrics = runUncached(app, scheme);
     cache.store(key.str(), serializeMetrics(metrics));
     return metrics;
 }

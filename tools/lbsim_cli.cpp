@@ -1,21 +1,30 @@
 /**
  * @file
- * lbsim command-line driver: run one (application, scheme) pair with
- * overridable configuration and print a full statistics report.
+ * lbsim command-line driver: run one (application, scheme) pair — or the
+ * whole suite with --app all — with overridable configuration and print
+ * a full statistics report.
+ *
+ * Runs are expressed as a one-or-more-cell ExperimentPlan and executed
+ * by the ExperimentEngine, so --app all parallelizes across --threads
+ * workers and shares the memo cache with the figure benches.
  *
  * Examples:
  *   lbsim_cli --app KM --scheme linebacker
  *   lbsim_cli --app S2 --scheme best-swl --warp-limit 16 --l1-kb 96
+ *   lbsim_cli --app all --scheme linebacker --threads 8 --csv
  *   lbsim_cli --list
- *   lbsim_cli --app BI --scheme svc --sms 4 --cycles 600000 --csv
+ *   lbsim_cli --app BI --scheme svc --sms 4 --cycles 600000 --json out.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "harness/experiment.hpp"
 #include "harness/oracle.hpp"
+#include "harness/report.hpp"
 #include "harness/sim_runner.hpp"
 #include "power/energy_model.hpp"
 #include "workload/suite.hpp"
@@ -29,7 +38,7 @@ void
 usage()
 {
     std::puts(
-        "usage: lbsim_cli --app <id> --scheme <name> [options]\n"
+        "usage: lbsim_cli --app <id|all> --scheme <name> [options]\n"
         "\n"
         "schemes: baseline, best-swl (oracle unless --warp-limit),\n"
         "         ccws, pcal, cerf, linebacker, vc, svc, pcal-svc,\n"
@@ -41,8 +50,10 @@ usage()
         "  --cycles <n>         measured cycles (default 400000)\n"
         "  --warmup <n>         warm-up cycles (default 200000)\n"
         "  --l1-kb <n>          L1 size in KB (default 48)\n"
+        "  --threads <n>        worker threads for --app all\n"
         "  --no-cache           bypass the on-disk memo cache\n"
-        "  --csv                machine-readable one-line output");
+        "  --csv                machine-readable one-line-per-run output\n"
+        "  --json [path]        write an experiment JSON artifact");
 }
 
 const char *
@@ -63,6 +74,42 @@ flag(int argc, char **argv, const char *name)
             return true;
     }
     return false;
+}
+
+void
+printReport(const AppProfile &app, const std::string &scheme_name,
+            const RunMetrics &m)
+{
+    const SimStats &s = m.stats;
+    std::printf("%s under %s\n", app.id.c_str(), scheme_name.c_str());
+    std::printf("  IPC                 %10.3f\n", m.ipc);
+    std::printf("  cycles measured     %10llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("  instructions        %10llu\n",
+                static_cast<unsigned long long>(s.instructionsIssued));
+    const double total = static_cast<double>(s.l1.total());
+    std::printf("  L1 hit / Reg hit    %9.1f%% /%6.1f%%\n",
+                100.0 * s.l1.l1Hits / total,
+                100.0 * s.l1.regHits / total);
+    std::printf("  miss / bypass       %9.1f%% /%6.1f%%\n",
+                100.0 * s.l1.misses / total,
+                100.0 * s.l1.bypasses / total);
+    std::printf("  avg load latency    %10.0f cycles\n",
+                s.avgLoadLatency());
+    std::printf("  DRAM line transfers %10llu (backup %llu, restore "
+                "%llu)\n",
+                static_cast<unsigned long long>(s.dramLineTransfers()),
+                static_cast<unsigned long long>(s.dramBackupWrites),
+                static_cast<unsigned long long>(s.dramRestoreReads));
+    std::printf("  RF bank conflicts   %10llu\n",
+                static_cast<unsigned long long>(s.rfBankConflicts));
+    std::printf("  CTA throttle/activ. %6llu / %llu\n",
+                static_cast<unsigned long long>(s.ctaThrottleEvents),
+                static_cast<unsigned long long>(s.ctaActivateEvents));
+    std::printf("  victim stored/hits  %6llu / %llu\n",
+                static_cast<unsigned long long>(s.victimLinesStored),
+                static_cast<unsigned long long>(s.l1.regHits));
+    std::printf("  energy              %10.4f J\n", m.energyJ);
 }
 
 } // namespace
@@ -110,11 +157,15 @@ main(int argc, char **argv)
         options.maxCycles = std::strtoull(v, nullptr, 10);
     options.useMemoCache = !flag(argc, argv, "--no-cache");
 
-    SimRunner runner(cfg, LbConfig{}, options);
-    const AppProfile &app = appById(app_id);
+    std::vector<AppProfile> apps;
+    if (std::strcmp(app_id, "all") == 0)
+        apps = benchmarkSuite();
+    else
+        apps.push_back(appById(app_id));
 
-    SchemeConfig scheme;
     const std::string name = scheme_name;
+    SchemeConfig scheme;
+    bool oracle_swl = false;
     if (name == "baseline") {
         scheme = SchemeConfig::baseline();
     } else if (name == "best-swl") {
@@ -122,10 +173,7 @@ main(int argc, char **argv)
             scheme = SchemeConfig::bestSwl(static_cast<std::uint32_t>(
                 std::strtoul(v, nullptr, 10)));
         } else {
-            const SwlOracleResult oracle = findBestSwl(runner, app);
-            std::fprintf(stderr, "oracle warp limit: %u\n",
-                         oracle.bestLimit);
-            scheme = SchemeConfig::bestSwl(oracle.bestLimit);
+            oracle_swl = true;
         }
     } else if (name == "ccws") {
         scheme = SchemeConfig::ccws();
@@ -153,53 +201,72 @@ main(int argc, char **argv)
         return 1;
     }
 
-    const RunMetrics m = runner.run(app, scheme);
-    const SimStats &s = m.stats;
-
-    if (flag(argc, argv, "--csv")) {
-        std::printf("app,scheme,ipc,l1_hit,reg_hit,miss,bypass,"
-                    "dram_lines,energy_j,throttles\n");
-        const double total = static_cast<double>(s.l1.total());
-        std::printf("%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%.6e,%llu\n",
-                    app.id.c_str(), scheme.name.c_str(), m.ipc,
-                    s.l1.l1Hits / total, s.l1.regHits / total,
-                    s.l1.misses / total, s.l1.bypasses / total,
-                    static_cast<unsigned long long>(
-                        s.dramLineTransfers()),
-                    m.energyJ,
-                    static_cast<unsigned long long>(
-                        s.ctaThrottleEvents));
-        return 0;
+    ExperimentPlan plan(cfg, LbConfig{}, options);
+    for (const AppProfile &app : apps) {
+        if (oracle_swl) {
+            plan.addCustom(app.id, name, {}, [app](SimRunner &runner) {
+                const SwlOracleResult oracle = findBestSwl(runner, app);
+                std::fprintf(stderr, "%s oracle warp limit: %u\n",
+                             app.id.c_str(), oracle.bestLimit);
+                return runner.run(
+                    app, SchemeConfig::bestSwl(oracle.bestLimit));
+            });
+        } else {
+            plan.add(app, scheme, {}, name);
+        }
     }
 
-    std::printf("%s under %s\n", app.id.c_str(), scheme.name.c_str());
-    std::printf("  IPC                 %10.3f\n", m.ipc);
-    std::printf("  cycles measured     %10llu\n",
-                static_cast<unsigned long long>(s.cycles));
-    std::printf("  instructions        %10llu\n",
-                static_cast<unsigned long long>(s.instructionsIssued));
-    const double total = static_cast<double>(s.l1.total());
-    std::printf("  L1 hit / Reg hit    %9.1f%% /%6.1f%%\n",
-                100.0 * s.l1.l1Hits / total,
-                100.0 * s.l1.regHits / total);
-    std::printf("  miss / bypass       %9.1f%% /%6.1f%%\n",
-                100.0 * s.l1.misses / total,
-                100.0 * s.l1.bypasses / total);
-    std::printf("  avg load latency    %10.0f cycles\n",
-                s.avgLoadLatency());
-    std::printf("  DRAM line transfers %10llu (backup %llu, restore "
-                "%llu)\n",
+    EngineOptions engine_opts;
+    if (const char *v = arg(argc, argv, "--threads"))
+        engine_opts.threads = static_cast<unsigned>(
+            std::strtoul(v, nullptr, 10));
+    engine_opts.printProgress = apps.size() > 1;
+    const std::vector<CellResult> results =
+        ExperimentEngine(engine_opts).run(plan);
+
+    bool failed = false;
+    const bool csv = flag(argc, argv, "--csv");
+    if (csv) {
+        std::printf("app,scheme,ipc,l1_hit,reg_hit,miss,bypass,"
+                    "dram_lines,energy_j,throttles\n");
+    }
+    bool first = true;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const CellResult &result = results[i];
+        if (!result.ok) {
+            std::fprintf(stderr, "%s/%s failed: %s\n",
+                         result.app.c_str(), result.scheme.c_str(),
+                         result.error.c_str());
+            failed = true;
+            continue;
+        }
+        const RunMetrics &m = result.metrics;
+        const SimStats &s = m.stats;
+        if (csv) {
+            const double total = static_cast<double>(s.l1.total());
+            std::printf(
+                "%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%.6e,%llu\n",
+                result.app.c_str(), result.scheme.c_str(), m.ipc,
+                s.l1.l1Hits / total, s.l1.regHits / total,
+                s.l1.misses / total, s.l1.bypasses / total,
                 static_cast<unsigned long long>(s.dramLineTransfers()),
-                static_cast<unsigned long long>(s.dramBackupWrites),
-                static_cast<unsigned long long>(s.dramRestoreReads));
-    std::printf("  RF bank conflicts   %10llu\n",
-                static_cast<unsigned long long>(s.rfBankConflicts));
-    std::printf("  CTA throttle/activ. %6llu / %llu\n",
-                static_cast<unsigned long long>(s.ctaThrottleEvents),
-                static_cast<unsigned long long>(s.ctaActivateEvents));
-    std::printf("  victim stored/hits  %6llu / %llu\n",
-                static_cast<unsigned long long>(s.victimLinesStored),
-                static_cast<unsigned long long>(s.l1.regHits));
-    std::printf("  energy              %10.4f J\n", m.energyJ);
-    return 0;
+                m.energyJ,
+                static_cast<unsigned long long>(s.ctaThrottleEvents));
+        } else {
+            if (!first)
+                std::printf("\n");
+            printReport(apps[i], result.scheme, m);
+            first = false;
+        }
+    }
+
+    if (flag(argc, argv, "--json")) {
+        std::string path = "LBSIM_CLI.json";
+        if (const char *v = arg(argc, argv, "--json")) {
+            if (v[0] != '-')
+                path = v;
+        }
+        writeExperimentJson(path, "lbsim_cli", false, results);
+    }
+    return failed ? 1 : 0;
 }
