@@ -122,4 +122,71 @@ struct SimStats
     }
 };
 
+/**
+ * Apply @p fn("name", field) to every SimStats counter in a fixed order.
+ *
+ * This is the single enumeration of the counter set: the memo cache
+ * serializer, the byte-exact serializeStats() used by determinism tests,
+ * and firstStatDifference() all walk it, so adding a counter here is the
+ * one step that keeps every consumer complete. @p Stats may be const or
+ * mutable SimStats.
+ */
+template <typename Stats, typename Fn>
+void
+forEachStatField(Stats &s, Fn &&fn)
+{
+    fn("cycles", s.cycles);
+    fn("instructionsIssued", s.instructionsIssued);
+    fn("warpInstructionsRetired", s.warpInstructionsRetired);
+    fn("ctasCompleted", s.ctasCompleted);
+    fn("l1Hits", s.l1.l1Hits);
+    fn("regHits", s.l1.regHits);
+    fn("misses", s.l1.misses);
+    fn("bypasses", s.l1.bypasses);
+    fn("coldMisses", s.coldMisses);
+    fn("capacityMisses", s.capacityMisses);
+    fn("evictions", s.evictions);
+    fn("writeEvicts", s.writeEvicts);
+    fn("writeNoAllocates", s.writeNoAllocates);
+    fn("victimLinesStored", s.victimLinesStored);
+    fn("victimStoreRejected", s.victimStoreRejected);
+    fn("victimInvalidations", s.victimInvalidations);
+    fn("vttProbes", s.vttProbes);
+    fn("vttProbeCycles", s.vttProbeCycles);
+    fn("loadLatencySum", s.loadLatencySum);
+    fn("loadsCompleted", s.loadsCompleted);
+    fn("rfAccesses", s.rfAccesses);
+    fn("rfBankConflicts", s.rfBankConflicts);
+    fn("rfVictimAccesses", s.rfVictimAccesses);
+    fn("l2Accesses", s.l2Accesses);
+    fn("l2Hits", s.l2Hits);
+    fn("dramReads", s.dramReads);
+    fn("dramWrites", s.dramWrites);
+    fn("dramBackupWrites", s.dramBackupWrites);
+    fn("dramRestoreReads", s.dramRestoreReads);
+    fn("dramRowHits", s.dramRowHits);
+    fn("dramRowMisses", s.dramRowMisses);
+    fn("ctaThrottleEvents", s.ctaThrottleEvents);
+    fn("ctaActivateEvents", s.ctaActivateEvents);
+    fn("monitoringPeriods", s.monitoringPeriods);
+    fn("selectedLoads", s.selectedLoads);
+    fn("avgActiveRegisters", s.avgActiveRegisters);
+    fn("avgVictimRegisters", s.avgVictimRegisters);
+    fn("avgStaticallyUnusedRegisters", s.avgStaticallyUnusedRegisters);
+    fn("avgDynamicallyUnusedRegisters", s.avgDynamicallyUnusedRegisters);
+}
+
+/**
+ * Byte-exact textual form of every counter ("name=value" lines, doubles
+ * at full precision). Two runs are bit-identical iff their serialized
+ * forms compare equal.
+ */
+std::string serializeStats(const SimStats &stats);
+
+/**
+ * Name and values of the first counter differing between @p a and @p b;
+ * empty string when every counter matches exactly.
+ */
+std::string firstStatDifference(const SimStats &a, const SimStats &b);
+
 } // namespace lbsim

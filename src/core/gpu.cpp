@@ -110,9 +110,16 @@ Gpu::runKernel(const KernelInfo &kernel)
     while (now_ < deadline && !done())
         tick();
 
+    // Compute draining leaves posted writes (write-evict spills,
+    // write-no-allocate stores) still crossing the interconnect; let
+    // them land — as a kernel-boundary memory fence would — so the
+    // end-of-run audit's "nothing in flight" claim is meaningful.
+    while (now_ < deadline && done() && !icnt_->quiescent())
+        tick();
+
     // A drained grid must leave no request in flight anywhere; a run
     // that merely exhausted its budget legitimately has some.
-    if (done()) {
+    if (done() && icnt_->quiescent()) {
         CheckScope scope(now_);
         icnt_->auditDrained();
     }

@@ -60,6 +60,14 @@ class Gpu
     {
         return static_cast<std::uint32_t>(sms_.size());
     }
+    MemoryPartition &partition(std::uint32_t index)
+    {
+        return *partitions_[index];
+    }
+    std::uint32_t numPartitions() const
+    {
+        return static_cast<std::uint32_t>(partitions_.size());
+    }
     SimStats &stats() { return stats_; }
     const GpuConfig &config() const { return cfg_; }
     Interconnect &interconnect() { return *icnt_; }

@@ -11,6 +11,7 @@
 #include "core/gpu.hpp"
 #include "harness/memo_cache.hpp"
 #include "lb/linebacker.hpp"
+#include "testing/lockstep.hpp"
 
 namespace lbsim
 {
@@ -19,7 +20,7 @@ namespace
 {
 
 /** Bump when simulator/workload semantics change to invalidate caches. */
-constexpr const char *kCacheVersion = "lbsim-v9";
+constexpr const char *kCacheVersion = "lbsim-v10";
 
 /** DUR bytes implied by a static warp limit (Best-SWL+CacheExt sizing). */
 std::uint32_t
@@ -120,51 +121,18 @@ template <typename Metrics, typename Fn>
 void
 visitMetricFields(Metrics &m, Fn &&fn)
 {
-    auto &s = m.stats;
     fn(m.ipc);
     fn(m.energyJ);
     fn(m.avgVictimRegs);
     fn(m.monitoringWindows);
     fn(m.victimSpaceUtilization);
-    fn(s.cycles);
-    fn(s.instructionsIssued);
-    fn(s.warpInstructionsRetired);
-    fn(s.ctasCompleted);
-    fn(s.l1.l1Hits);
-    fn(s.l1.regHits);
-    fn(s.l1.misses);
-    fn(s.l1.bypasses);
-    fn(s.coldMisses);
-    fn(s.capacityMisses);
-    fn(s.evictions);
-    fn(s.writeEvicts);
-    fn(s.writeNoAllocates);
-    fn(s.victimLinesStored);
-    fn(s.victimStoreRejected);
-    fn(s.victimInvalidations);
-    fn(s.vttProbes);
-    fn(s.vttProbeCycles);
-    fn(s.loadLatencySum);
-    fn(s.loadsCompleted);
-    fn(s.rfAccesses);
-    fn(s.rfBankConflicts);
-    fn(s.rfVictimAccesses);
-    fn(s.l2Accesses);
-    fn(s.l2Hits);
-    fn(s.dramReads);
-    fn(s.dramWrites);
-    fn(s.dramBackupWrites);
-    fn(s.dramRestoreReads);
-    fn(s.dramRowHits);
-    fn(s.dramRowMisses);
-    fn(s.ctaThrottleEvents);
-    fn(s.ctaActivateEvents);
-    fn(s.monitoringPeriods);
-    fn(s.selectedLoads);
-    fn(s.avgActiveRegisters);
-    fn(s.avgVictimRegisters);
-    fn(s.avgStaticallyUnusedRegisters);
-    fn(s.avgDynamicallyUnusedRegisters);
+    // The SimStats counters come from the shared enumeration so a new
+    // counter added there is automatically serialized here (field order
+    // is part of the cache format; forEachStatField's order matches the
+    // historical one). Lockstep fields are deliberately absent: lockstep
+    // runs bypass the cache.
+    forEachStatField(m.stats,
+                     [&fn](const char *, auto &field) { fn(field); });
 }
 
 std::string
@@ -221,7 +189,9 @@ SimRunner::SimRunner(GpuConfig base_cfg, LbConfig lb_cfg,
 RunMetrics
 SimRunner::run(const AppProfile &app, const SchemeConfig &scheme)
 {
-    if (!options_.useMemoCache)
+    // Lockstep runs carry run-local checker counters that must never be
+    // served from (or stored into) the cross-run cache.
+    if (!options_.useMemoCache || options_.lockstep)
         return runUncached(app, scheme);
 
     // One shared, thread-safe store per process: the file is parsed
@@ -324,6 +294,12 @@ SimRunner::runUncached(const AppProfile &app, const SchemeConfig &scheme)
     }
     gpu.setControllers(controllers);
 
+    // The lockstep harness must attach after the controllers so its L1
+    // checkers wrap the victim mechanisms the policy stack installed.
+    LockstepHarness lockstep;
+    if (options_.lockstep)
+        lockstep.attach(gpu);
+
     const SimStats &stats = gpu.runKernel(kernel);
 
     RunMetrics metrics;
@@ -331,6 +307,11 @@ SimRunner::runUncached(const AppProfile &app, const SchemeConfig &scheme)
     metrics.schemeName = scheme.name;
     metrics.stats = stats;
     metrics.ipc = stats.ipc();
+    if (options_.lockstep) {
+        metrics.lockstepChecks = lockstep.checkCount();
+        metrics.lockstepMismatches = lockstep.mismatchCount();
+        metrics.lockstepFirstMismatch = lockstep.firstMismatch();
+    }
 
     const bool lb_active = !lbs.empty();
     EnergyModel energy;

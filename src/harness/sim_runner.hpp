@@ -38,6 +38,14 @@ struct RunMetrics
     std::uint32_t monitoringWindows = 0;
     /** Idle register-file utilization as victim space (Fig 10). */
     double victimSpaceUtilization = 0.0;
+
+    // --- Lockstep reference-model results (RunnerOptions::lockstep) ----
+    /** Cross-checks performed by the differential reference model. */
+    std::uint64_t lockstepChecks = 0;
+    /** Cross-checks that failed (0 on a correct simulator). */
+    std::uint64_t lockstepMismatches = 0;
+    /** First mismatch report; empty when the run was clean. */
+    std::string lockstepFirstMismatch;
 };
 
 /** Runner options shared across a bench binary. */
@@ -53,6 +61,14 @@ struct RunnerOptions
     Cycle maxCycles = 1000000;
     /** Memoize results in buildDir/simcache.csv. */
     bool useMemoCache = true;
+    /**
+     * Run the differential reference model in lockstep with the timing
+     * simulator (see src/testing/lockstep.hpp) and report its check and
+     * mismatch counts in RunMetrics. Lockstep runs always bypass the
+     * memo cache: the check counters are run-local, not cacheable
+     * metrics.
+     */
+    bool lockstep = false;
 };
 
 /** Runs one (app, scheme) pair on @p base_cfg. */

@@ -75,6 +75,12 @@ class Linebacker : public SmControllerIf, public VictimCacheIf
     // --- Introspection -----------------------------------------------------
     const LoadMonitor &loadMonitor() const { return lm_; }
     const VictimTagTable &vtt() const { return vtt_; }
+
+    /**
+     * Mutable VTT access for tests that fabricate corrupted entries
+     * (setEntryForTest). Never call from simulator code.
+     */
+    VictimTagTable &vttForTest() { return vtt_; }
     const CtaManager &ctaManager() const { return ctaMgr_; }
     const BackupEngine &backupEngine() const { return *engine_; }
 

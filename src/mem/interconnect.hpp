@@ -67,6 +67,17 @@ class Interconnect
                                           partitions_.size());
     }
 
+    /**
+     * True when no traffic is queued in either direction. Compute
+     * draining does not imply this: posted writes carry no response and
+     * may still be crossing the crossbar after the last warp retires.
+     */
+    bool
+    quiescent() const
+    {
+        return requests_.empty() && responses_.empty();
+    }
+
     /** Request-lifetime ledger (fed only in full-check builds). */
     RequestLedger &ledger() { return ledger_; }
     const RequestLedger &ledger() const { return ledger_; }

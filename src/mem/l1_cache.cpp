@@ -34,6 +34,18 @@ L1Cache::scheduleCompletion(std::uint64_t access_id, Cycle ready)
 L1Outcome
 L1Cache::access(const L1Access &access, Cycle now)
 {
+    const L1Outcome outcome = accessImpl(access, now);
+    // The sink sees accepted outcomes only: a stalled access is retried
+    // verbatim next cycle, so reporting it would double-count the access
+    // in the reference model.
+    if (sink_ && l1Accepted(outcome))
+        sink_->onAccessOutcome(access, outcome, now);
+    return outcome;
+}
+
+L1Outcome
+L1Cache::accessImpl(const L1Access &access, Cycle now)
+{
     // NOTE: a stalled access is retried by the LDST unit every cycle, so
     // observers, locality notifications, and statistics must only fire
     // on the accepted paths — never before a Stall* return.
@@ -204,6 +216,7 @@ L1Cache::fill(Addr line_addr, Cycle now)
     std::vector<std::uint64_t> waiters;
     const bool allocate = mshrs_.completeFill(line_addr, waiters);
 
+    std::optional<Eviction> displaced;
     if (allocate) {
         auto fill_it = pendingFills_.find(line_addr);
         const std::uint8_t hpc =
@@ -223,8 +236,11 @@ L1Cache::fill(Addr line_addr, Cycle now)
             if (victim_)
                 victim_->notifyEviction(evicted->lineAddr, evicted->hpc,
                                         evicted->owner, now);
+            displaced = evicted;
         }
     }
+    if (sink_)
+        sink_->onFill(line_addr, allocate, displaced, now);
 
     for (std::uint64_t access_id : waiters)
         scheduleCompletion(access_id, now);
@@ -243,6 +259,8 @@ void
 L1Cache::flush()
 {
     tags_.invalidateAll();
+    if (sink_)
+        sink_->onFlush();
 }
 
 void

@@ -84,6 +84,36 @@ struct L1Access
     std::uint8_t warpSlot = 0;  ///< Issuing warp (CCWS attribution).
 };
 
+/**
+ * Event sink observing the L1's externally visible transitions.
+ *
+ * Implemented by the lockstep reference model (src/testing): every
+ * accepted access outcome, every fill (with the eviction it caused) and
+ * every flush is reported so an independent functional model can replay
+ * the same operation stream and cross-check residency and replacement
+ * decisions. Callbacks fire after the L1 updated its own state.
+ */
+class L1EventSinkIf
+{
+  public:
+    virtual ~L1EventSinkIf() = default;
+
+    /** @p outcome was accepted (never StallNoMshr / StallQueue). */
+    virtual void onAccessOutcome(const L1Access &access, L1Outcome outcome,
+                                 Cycle now) = 0;
+
+    /**
+     * A fill arrived. @p allocated reports whether the line was inserted
+     * into the tag array; @p evicted the line it displaced, if any.
+     */
+    virtual void onFill(Addr line_addr, bool allocated,
+                        const std::optional<Eviction> &evicted,
+                        Cycle now) = 0;
+
+    /** Every line was invalidated. */
+    virtual void onFlush() = 0;
+};
+
 /** L1 data cache for one SM. */
 class L1Cache
 {
@@ -100,6 +130,12 @@ class L1Cache
 
     /** Attach the victim-cache mechanism (may be null). */
     void setVictimCache(VictimCacheIf *victim) { victim_ = victim; }
+
+    /** Currently attached victim mechanism (null if none). */
+    VictimCacheIf *victimCache() const { return victim_; }
+
+    /** Attach the lockstep event sink (may be null). */
+    void setEventSink(L1EventSinkIf *sink) { sink_ = sink; }
 
     /** Attach the unified-bank arbiter (CERF; may be null). */
     void setBankArbiter(BankArbiterIf *arbiter) { bankArbiter_ = arbiter; }
@@ -153,10 +189,17 @@ class L1Cache
      */
     void injectPendingFillForTest(Addr line_addr);
 
+    /**
+     * Mutable tag-array access so tests can corrupt resident lines and
+     * prove the lockstep checker trips. Never call from simulator code.
+     */
+    TagArray &tagsForTest() { return tags_; }
+
   private:
     /** Schedule completion of @p access_id at @p ready. */
     void scheduleCompletion(std::uint64_t access_id, Cycle ready);
 
+    L1Outcome accessImpl(const L1Access &access, Cycle now);
     L1Outcome handleStore(const L1Access &access, Cycle now);
     L1Outcome handleLoadMiss(const L1Access &access, Cycle now);
 
@@ -167,6 +210,7 @@ class L1Cache
     TagArray tags_;
     MshrFile mshrs_;
     VictimCacheIf *victim_ = nullptr;
+    L1EventSinkIf *sink_ = nullptr;
     BankArbiterIf *bankArbiter_ = nullptr;
     AccessObserver observer_;
 

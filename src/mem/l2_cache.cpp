@@ -32,6 +32,15 @@ L2Slice::L2Slice(const GpuConfig &cfg, std::uint32_t partition_id,
 L2Outcome
 L2Slice::accessRead(Addr line_addr, std::uint64_t access_id, Cycle now)
 {
+    const L2Outcome outcome = accessReadImpl(line_addr, access_id, now);
+    if (sink_ && outcome != L2Outcome::Stall)
+        sink_->onRead(line_addr, outcome, now);
+    return outcome;
+}
+
+L2Outcome
+L2Slice::accessReadImpl(Addr line_addr, std::uint64_t access_id, Cycle now)
+{
     ++stats_->l2Accesses;
     if (tags_.access(line_addr, 0, now)) {
         ++stats_->l2Hits;
@@ -54,10 +63,13 @@ L2Slice::accessWrite(Addr line_addr, Cycle now)
 {
     ++stats_->l2Accesses;
     // Write-through, no-allocate: refresh an existing copy only.
-    if (tags_.probe(line_addr)) {
+    const bool hit = tags_.probe(line_addr);
+    if (hit) {
         tags_.access(line_addr, 0, now);
         ++stats_->l2Hits;
     }
+    if (sink_)
+        sink_->onWrite(line_addr, hit, now);
 }
 
 void
@@ -65,7 +77,10 @@ L2Slice::fill(Addr line_addr, Cycle now,
               std::vector<std::uint64_t> &waiters_out)
 {
     mshrs_.completeFill(line_addr, waiters_out);
-    tags_.insert(line_addr, 0, now);
+    const std::optional<Eviction> evicted =
+        tags_.insert(line_addr, 0, now);
+    if (sink_)
+        sink_->onFill(line_addr, evicted, now);
 }
 
 } // namespace lbsim

@@ -31,12 +31,39 @@ enum class L2Outcome
     Stall,      ///< MSHRs exhausted; retry.
 };
 
+/**
+ * Event sink observing one L2 slice's externally visible transitions.
+ *
+ * Implemented by the lockstep reference model (src/testing); callbacks
+ * fire after the slice updated its own state. Stalled reads are not
+ * reported — they leave no state behind and retry verbatim.
+ */
+class L2EventSinkIf
+{
+  public:
+    virtual ~L2EventSinkIf() = default;
+
+    /** A read completed lookup with @p outcome (never Stall). */
+    virtual void onRead(Addr line_addr, L2Outcome outcome, Cycle now) = 0;
+
+    /** A write-through touched the slice; @p hit if a copy was present. */
+    virtual void onWrite(Addr line_addr, bool hit, Cycle now) = 0;
+
+    /** A DRAM fill inserted @p line_addr, displacing @p evicted if any. */
+    virtual void onFill(Addr line_addr,
+                        const std::optional<Eviction> &evicted,
+                        Cycle now) = 0;
+};
+
 /** L2 cache slice owned by one memory partition. */
 class L2Slice
 {
   public:
     L2Slice(const GpuConfig &cfg, std::uint32_t partition_id,
             SimStats *stats);
+
+    /** Attach the lockstep event sink (may be null). */
+    void setEventSink(L2EventSinkIf *sink) { sink_ = sink; }
 
     /**
      * Look up @p line_addr for a read with bookkeeping token
@@ -57,9 +84,13 @@ class L2Slice
     const TagArray &tags() const { return tags_; }
 
   private:
+    L2Outcome accessReadImpl(Addr line_addr, std::uint64_t access_id,
+                             Cycle now);
+
     SimStats *stats_;
     TagArray tags_;
     MshrFile mshrs_;
+    L2EventSinkIf *sink_ = nullptr;
 };
 
 } // namespace lbsim

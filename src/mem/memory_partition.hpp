@@ -54,6 +54,7 @@ class MemoryPartition
     std::string debugString() const;
 
     const L2Slice &l2() const { return l2_; }
+    L2Slice &l2() { return l2_; }
     const DramChannel &dram() const { return dram_; }
 
   private:

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Lockstep differential checking of the timing memory hierarchy.
+ *
+ * The timing simulator reports every externally visible cache transition
+ * through the L1EventSinkIf / L2EventSinkIf hooks; the checkers here
+ * replay that stream into independent RefCache functional models and
+ * cross-check, per event:
+ *
+ *  - outcome consistency: an L1/L2 hit requires the reference model to
+ *    hold the line, a miss (merged, bypassed, or plain) requires it not
+ *    to;
+ *  - replacement consistency: every fill's eviction decision (line,
+ *    HPC, owning warp — or the absence of an eviction) must match the
+ *    reference model's independent LRU choice exactly;
+ *  - victim-cache soundness: the L1 checker also interposes on the
+ *    VictimCacheIf between the L1 and Linebacker, so a victim (or
+ *    tag-only) probe hit is only legal for a line that was actually
+ *    evicted from the L1 and not stored to since — the end-to-end
+ *    property behind every "victim hit" the paper's figures count.
+ *
+ * Mismatches are recorded, not fatal: the fuzzer and the tests assert a
+ * zero mismatch count and print the capped reports on failure.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/l1_cache.hpp"
+#include "mem/l2_cache.hpp"
+#include "testing/ref_cache.hpp"
+
+namespace lbsim
+{
+
+class Gpu;
+
+/** Check/mismatch accounting shared by the lockstep checkers. */
+class LockstepLog
+{
+  public:
+    /**
+     * Record one comparison; @p what is only invoked (and its report
+     * kept, up to a cap) when the comparison failed, so the hot pass
+     * path never formats a message.
+     */
+    template <typename MsgFn>
+    void
+    record(bool ok, MsgFn &&what)
+    {
+        ++checks_;
+        if (ok)
+            return;
+        ++mismatches_;
+        if (reports_.size() < kMaxReports)
+            reports_.push_back(what());
+    }
+
+    std::uint64_t checks() const { return checks_; }
+    std::uint64_t mismatches() const { return mismatches_; }
+    const std::vector<std::string> &reports() const { return reports_; }
+
+  private:
+    static constexpr std::size_t kMaxReports = 8;
+
+    std::uint64_t checks_ = 0;
+    std::uint64_t mismatches_ = 0;
+    std::vector<std::string> reports_;
+};
+
+/**
+ * Differential checker for one SM's L1 (and its victim mechanism).
+ *
+ * Installed decorator-style: it takes over the L1's event sink and
+ * interposes on the victim interface, forwarding every call to the
+ * previously attached mechanism (Linebacker, a test double, or nothing).
+ * The tap is behaviour-neutral — probe results and notifications pass
+ * through unchanged — so checked and unchecked runs simulate
+ * identically.
+ */
+class LockstepL1Checker : public L1EventSinkIf, public VictimCacheIf
+{
+  public:
+    /**
+     * Hook @p l1, wrapping whatever victim mechanism is already
+     * attached. Call after the policy stack (e.g. Linebacker) is wired.
+     */
+    explicit LockstepL1Checker(L1Cache &l1, std::uint32_t sm_id = 0);
+
+    // --- L1EventSinkIf -----------------------------------------------------
+    void onAccessOutcome(const L1Access &access, L1Outcome outcome,
+                         Cycle now) override;
+    void onFill(Addr line_addr, bool allocated,
+                const std::optional<Eviction> &evicted,
+                Cycle now) override;
+    void onFlush() override;
+
+    // --- VictimCacheIf (forwarding tap) ------------------------------------
+    VictimProbeResult probeVictim(Addr line_addr, Cycle now) override;
+    void notifyEviction(Addr line_addr, std::uint8_t hpc,
+                        std::uint8_t owner_warp, Cycle now) override;
+    void notifyAccess(Addr line_addr, Pc pc, std::uint8_t hpc,
+                      std::uint8_t warp_slot, bool hit,
+                      Cycle now) override;
+    void notifyStore(Addr line_addr, Cycle now) override;
+
+    const LockstepLog &log() const { return log_; }
+    const RefCache &ref() const { return ref_; }
+
+  private:
+    /** Miss-time attributes consumed by the matching fill. */
+    struct PendingInfo
+    {
+        std::uint8_t hpc = 0;
+        std::uint8_t owner = 0;
+    };
+
+    std::uint32_t smId_;
+    VictimCacheIf *inner_ = nullptr;
+    RefCache ref_;
+    LockstepLog log_;
+    std::unordered_map<Addr, PendingInfo> pending_;
+    /**
+     * Lines legally holdable by the victim mechanism: evicted from this
+     * L1 and not stored to since. The VTT's contents are always a subset
+     * (it drops lines on LRU replacement and resizing), so membership is
+     * a necessary condition for any probe hit.
+     */
+    std::unordered_set<Addr> victimLive_;
+};
+
+/** Differential checker for one partition's L2 slice. */
+class LockstepL2Checker : public L2EventSinkIf
+{
+  public:
+    explicit LockstepL2Checker(L2Slice &l2, std::uint32_t partition_id = 0);
+
+    void onRead(Addr line_addr, L2Outcome outcome, Cycle now) override;
+    void onWrite(Addr line_addr, bool hit, Cycle now) override;
+    void onFill(Addr line_addr, const std::optional<Eviction> &evicted,
+                Cycle now) override;
+
+    const LockstepLog &log() const { return log_; }
+
+  private:
+    std::uint32_t partitionId_;
+    RefCache ref_;
+    LockstepLog log_;
+};
+
+/**
+ * Whole-chip lockstep harness: one L1 checker per SM, one L2 checker per
+ * memory partition. Attach after Gpu::setControllers so the L1 checkers
+ * wrap the policy stack's victim mechanisms; keep the harness alive for
+ * the duration of the run.
+ */
+class LockstepHarness
+{
+  public:
+    LockstepHarness() = default;
+
+    /** Hook every SM and partition of @p gpu. */
+    void attach(Gpu &gpu);
+
+    /** Comparisons performed across all checkers. */
+    std::uint64_t checkCount() const;
+
+    /** Failed comparisons across all checkers. */
+    std::uint64_t mismatchCount() const;
+
+    /** First mismatch report (empty when clean). */
+    std::string firstMismatch() const;
+
+    /** All capped mismatch reports, newline-joined. */
+    std::string reportString() const;
+
+    const LockstepL1Checker &l1Checker(std::uint32_t sm) const
+    {
+        return *l1_[sm];
+    }
+
+  private:
+    std::vector<std::unique_ptr<LockstepL1Checker>> l1_;
+    std::vector<std::unique_ptr<LockstepL2Checker>> l2_;
+};
+
+} // namespace lbsim

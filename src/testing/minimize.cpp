@@ -1,0 +1,174 @@
+#include "testing/minimize.hpp"
+
+#include <vector>
+
+namespace lbsim
+{
+
+namespace
+{
+
+/** One reduction step: mutate the case, or return false if inapplicable. */
+using Reduction = bool (*)(FuzzCase &);
+
+bool
+dropLastLoad(FuzzCase &c)
+{
+    if (c.app.loads.size() <= 1)
+        return false;
+    c.app.loads.pop_back();
+    return true;
+}
+
+bool
+dropFirstLoad(FuzzCase &c)
+{
+    if (c.app.loads.size() <= 1)
+        return false;
+    c.app.loads.erase(c.app.loads.begin());
+    return true;
+}
+
+bool
+dropStore(FuzzCase &c)
+{
+    if (!c.app.hasStore)
+        return false;
+    c.app.hasStore = false;
+    return true;
+}
+
+bool
+halveIterations(FuzzCase &c)
+{
+    if (c.app.iterations <= 1)
+        return false;
+    c.app.iterations /= 2;
+    return true;
+}
+
+bool
+halveMaxCycles(FuzzCase &c)
+{
+    if (c.gpu.maxCycles <= 2000)
+        return false;
+    c.gpu.maxCycles /= 2;
+    if (c.gpu.warmupCycles >= c.gpu.maxCycles)
+        c.gpu.warmupCycles = 0;
+    return true;
+}
+
+bool
+dropWarmup(FuzzCase &c)
+{
+    if (c.gpu.warmupCycles == 0)
+        return false;
+    c.gpu.warmupCycles = 0;
+    return true;
+}
+
+bool
+halveLoadFootprints(FuzzCase &c)
+{
+    bool changed = false;
+    for (LoadSpec &load : c.app.loads) {
+        if (load.lines > 1) {
+            load.lines /= 2;
+            changed = true;
+        }
+        if (load.hotLines > load.lines)
+            load.hotLines = load.lines;
+    }
+    return changed;
+}
+
+bool
+simplifyIrregulars(FuzzCase &c)
+{
+    bool changed = false;
+    for (LoadSpec &load : c.app.loads) {
+        if (load.fanout > 1) {
+            load.fanout = 1;
+            changed = true;
+        }
+        if (load.hotLines > 0) {
+            load.hotLines = 0;
+            load.hotProbability = 0.0;
+            changed = true;
+        }
+        if (load.everyN > 1) {
+            load.everyN = 1;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+bool
+halveCtas(FuzzCase &c)
+{
+    if (c.app.ctasPerSmOfGrid <= 1)
+        return false;
+    c.app.ctasPerSmOfGrid /= 2;
+    return true;
+}
+
+bool
+halveWarps(FuzzCase &c)
+{
+    if (c.app.warpsPerCta <= 1)
+        return false;
+    c.app.warpsPerCta /= 2;
+    return true;
+}
+
+bool
+dropAlu(FuzzCase &c)
+{
+    if (c.app.aluPerLoad == 0)
+        return false;
+    c.app.aluPerLoad = 0;
+    return true;
+}
+
+/** Ordered from most-aggressive shrink to fine-grained cleanup. */
+constexpr Reduction kReductions[] = {
+    dropLastLoad, dropFirstLoad,       halveIterations,
+    halveMaxCycles, halveCtas,         halveWarps,
+    dropStore,    halveLoadFootprints, simplifyIrregulars,
+    dropWarmup,   dropAlu,
+};
+
+} // namespace
+
+MinimizeResult
+minimizeFuzzCase(const FuzzCase &failing, const FuzzPredicate &still_fails,
+                 std::uint32_t max_evaluations)
+{
+    MinimizeResult result;
+    result.best = failing;
+
+    // Greedy fixpoint: retry the whole reduction list after every
+    // accepted step, since a shrink can re-enable earlier reductions
+    // (e.g. halving cycles makes another iteration halving viable).
+    bool progressed = true;
+    while (progressed && result.evaluations < max_evaluations) {
+        progressed = false;
+        for (const Reduction reduce : kReductions) {
+            if (result.evaluations >= max_evaluations)
+                break;
+            FuzzCase candidate = result.best;
+            if (!reduce(candidate))
+                continue;
+            ++result.evaluations;
+            if (still_fails(candidate)) {
+                result.best = candidate;
+                ++result.accepted;
+                progressed = true;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace lbsim

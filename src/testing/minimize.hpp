@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Failing-case minimizer.
+ *
+ * Given a FuzzCase that trips a property (or crashes) and a predicate
+ * that re-checks whether a candidate case still fails, greedily shrink
+ * the case — fewer loads, fewer iterations, smaller footprints, fewer
+ * warps — until no single reduction step preserves the failure. The
+ * result is the case a human debugs and the repro file the fuzz tool
+ * writes.
+ *
+ * The predicate abstraction keeps the minimizer policy-free: the fuzz
+ * tool passes a fork-isolated rerun (so crashes shrink too), while unit
+ * tests pass cheap synthetic predicates.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "testing/fuzz.hpp"
+
+namespace lbsim
+{
+
+/** Returns true while the candidate case still reproduces the failure. */
+using FuzzPredicate = std::function<bool(const FuzzCase &)>;
+
+/** Outcome of a minimization run. */
+struct MinimizeResult
+{
+    /** Smallest case found that still satisfies the predicate. */
+    FuzzCase best;
+    /** Candidate evaluations performed (predicate invocations). */
+    std::uint32_t evaluations = 0;
+    /** Reduction steps that preserved the failure. */
+    std::uint32_t accepted = 0;
+};
+
+/**
+ * Greedily shrink @p failing under @p still_fails.
+ *
+ * @pre still_fails(failing) is true (the caller verified the failure).
+ * @param max_evaluations Budget on predicate invocations; the minimizer
+ *        returns the best case found when it is exhausted.
+ */
+MinimizeResult minimizeFuzzCase(const FuzzCase &failing,
+                                const FuzzPredicate &still_fails,
+                                std::uint32_t max_evaluations = 200);
+
+} // namespace lbsim

@@ -1,0 +1,140 @@
+#include "testing/ref_cache.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace lbsim
+{
+
+RefCache::RefCache(std::uint32_t sets, std::uint32_t ways)
+    : sets_(sets), ways_(ways), lines_(sets * ways)
+{
+    if (sets == 0 || ways == 0)
+        panic("RefCache requires nonzero geometry (%u sets, %u ways)",
+              sets, ways);
+}
+
+std::uint32_t
+RefCache::setOf(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>(lineIndex(line_addr) % sets_);
+}
+
+RefCache::Line *
+RefCache::find(Addr line_addr)
+{
+    Line *base = &lines_[static_cast<std::size_t>(setOf(line_addr)) *
+                         ways_];
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].lineAddr == line_addr)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const RefCache::Line *
+RefCache::find(Addr line_addr) const
+{
+    return const_cast<RefCache *>(this)->find(line_addr);
+}
+
+bool
+RefCache::resident(Addr line_addr) const
+{
+    return find(line_addr) != nullptr;
+}
+
+void
+RefCache::touch(Addr line_addr, std::uint8_t hpc, Cycle now,
+                std::uint8_t owner)
+{
+    if (Line *line = find(line_addr)) {
+        line->lastUse = now;
+        line->hpc = hpc;
+        line->owner = owner;
+    }
+}
+
+std::optional<RefEviction>
+RefCache::insert(Addr line_addr, std::uint8_t hpc, Cycle now,
+                 std::uint8_t owner)
+{
+    // Re-inserting a resident line refreshes it without displacement.
+    if (Line *line = find(line_addr)) {
+        line->lastUse = now;
+        line->hpc = hpc;
+        line->owner = owner;
+        return std::nullopt;
+    }
+
+    Line *base = &lines_[static_cast<std::size_t>(setOf(line_addr)) *
+                         ways_];
+    Line *slot = nullptr;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!base[w].valid) {
+            slot = &base[w];
+            break;
+        }
+    }
+
+    std::optional<RefEviction> evicted;
+    if (!slot) {
+        // LRU victim; strict '<' scanning ways in order ties toward the
+        // lowest way index, matching the timing tag array's choice.
+        slot = base;
+        for (std::uint32_t w = 1; w < ways_; ++w) {
+            if (base[w].lastUse < slot->lastUse)
+                slot = &base[w];
+        }
+        evicted = RefEviction{slot->lineAddr, slot->hpc, slot->owner};
+    }
+
+    slot->valid = true;
+    slot->lineAddr = line_addr;
+    slot->hpc = hpc;
+    slot->owner = owner;
+    slot->lastUse = now;
+    return evicted;
+}
+
+bool
+RefCache::invalidate(Addr line_addr)
+{
+    if (Line *line = find(line_addr)) {
+        line->valid = false;
+        line->lineAddr = kNoAddr;
+        return true;
+    }
+    return false;
+}
+
+void
+RefCache::invalidateAll()
+{
+    for (Line &line : lines_) {
+        line.valid = false;
+        line.lineAddr = kNoAddr;
+    }
+}
+
+std::uint32_t
+RefCache::validLines() const
+{
+    std::uint32_t count = 0;
+    for (const Line &line : lines_)
+        count += line.valid ? 1 : 0;
+    return count;
+}
+
+std::string
+RefCache::debugString() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "RefCache %ux%u: %u valid lines", sets_, ways_,
+                  validLines());
+    return buf;
+}
+
+} // namespace lbsim

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Functional reference model of a set-associative LRU cache.
+ *
+ * RefCache is the double-entry-bookkeeping counterpart of mem/TagArray:
+ * an independent implementation of the same architectural contract
+ * (refresh a resident line on insert, prefer invalid ways, otherwise
+ * displace the least-recently-used way with ties broken toward the
+ * lowest way index). The lockstep checker (lockstep.hpp) replays the
+ * timing simulator's event stream into a RefCache and cross-checks every
+ * residency answer and eviction choice; because both models consume the
+ * same operations with the same timestamps, their states must match
+ * exactly — any divergence is a bug in one of the two.
+ *
+ * The model is deliberately cycle-independent: it has no MSHRs, queues,
+ * or latencies. Timestamps are only used to order LRU decisions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace lbsim
+{
+
+/** A line displaced from the reference model. */
+struct RefEviction
+{
+    Addr lineAddr = kNoAddr;
+    std::uint8_t hpc = 0;
+    std::uint8_t owner = 0;
+};
+
+/** Cycle-independent set-associative LRU cache model. */
+class RefCache
+{
+  public:
+    RefCache(std::uint32_t sets, std::uint32_t ways);
+
+    /** True if @p line_addr is resident (no state change). */
+    bool resident(Addr line_addr) const;
+
+    /** Refresh LRU/HPC/owner state of a resident line. */
+    void touch(Addr line_addr, std::uint8_t hpc, Cycle now,
+               std::uint8_t owner);
+
+    /**
+     * Insert @p line_addr (refreshing it if already resident).
+     * @return The displaced line, if the set was full.
+     */
+    std::optional<RefEviction> insert(Addr line_addr, std::uint8_t hpc,
+                                      Cycle now, std::uint8_t owner);
+
+    /** Drop @p line_addr if resident. @return true if dropped. */
+    bool invalidate(Addr line_addr);
+
+    /** Drop every line. */
+    void invalidateAll();
+
+    std::uint32_t sets() const { return sets_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint32_t validLines() const;
+
+    /** One-line summary for mismatch reports. */
+    std::string debugString() const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr lineAddr = kNoAddr;
+        std::uint8_t hpc = 0;
+        std::uint8_t owner = 0;
+        Cycle lastUse = 0;
+    };
+
+    std::uint32_t setOf(Addr line_addr) const;
+    Line *find(Addr line_addr);
+    const Line *find(Addr line_addr) const;
+
+    std::uint32_t sets_;
+    std::uint32_t ways_;
+    std::vector<Line> lines_;  ///< sets_ x ways_, row-major.
+};
+
+} // namespace lbsim

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Golden-metrics regression test: re-runs the Figure 12 smoke plan
+ * (the CI configuration of bench_fig12_performance) and requires the
+ * machine-readable JSON artifact to match tests/golden/fig12_smoke.json
+ * byte for byte.
+ *
+ * The simulator is deterministic and writeExperimentJson excludes
+ * runtime facts, so any diff is a behaviour change — intended ones are
+ * blessed by re-running with LBSIM_UPDATE_GOLDEN=1 and committing the
+ * refreshed snapshot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+#ifndef LBSIM_GOLDEN_DIR
+#error "LBSIM_GOLDEN_DIR must point at tests/golden"
+#endif
+
+std::string
+goldenPath()
+{
+    return std::string(LBSIM_GOLDEN_DIR) + "/fig12_smoke.json";
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+/** First line where @p a and @p b disagree, for readable failures. */
+std::string
+firstDiffLine(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a);
+    std::istringstream sb(b);
+    std::string la;
+    std::string lb;
+    for (std::size_t line = 1;; ++line) {
+        const bool ga = static_cast<bool>(std::getline(sa, la));
+        const bool gb = static_cast<bool>(std::getline(sb, lb));
+        if (!ga && !gb)
+            return "(no difference found line-wise)";
+        if (la != lb || ga != gb) {
+            return "line " + std::to_string(line) + ":\n  golden: " +
+                (ga ? la : "<eof>") + "\n  actual: " + (gb ? lb : "<eof>");
+        }
+    }
+}
+
+TEST(GoldenFig12, SmokePlanMatchesSnapshot)
+{
+    using namespace lbsim::bench;
+
+    // Identical cells to `bench_fig12_performance --smoke --no-cache`:
+    // shared smoke config, six-app subset, baseline + Best-SWL oracle +
+    // the three evaluated schemes.
+    setenv("LBSIM_NO_CACHE", "1", 1);
+    BenchOptions opts;
+    opts.benchName = "fig12_performance";
+    opts.smoke = true;
+    const std::vector<AppProfile> apps = benchApps(opts);
+    ExperimentPlan plan = benchPlan(opts);
+    plan.withBaseline(apps, SchemeConfig::baseline())
+        .withBestSwl(apps)
+        .crossApps(apps, {SchemeConfig::pcal(), SchemeConfig::cerf(),
+                          SchemeConfig::linebacker()});
+
+    const std::vector<CellResult> results =
+        ExperimentEngine(EngineOptions{}).run(plan);
+    unsetenv("LBSIM_NO_CACHE");
+    ASSERT_EQ(results.size(), plan.size());
+    for (const CellResult &result : results) {
+        ASSERT_TRUE(result.ok)
+            << result.app << "/" << result.scheme << ": " << result.error;
+    }
+
+    const std::string actual_path = "golden_fig12_actual.json";
+    writeExperimentJson(actual_path, opts.benchName, opts.smoke, results);
+    std::string actual;
+    ASSERT_TRUE(readFile(actual_path, actual));
+    std::remove(actual_path.c_str());
+
+    if (const char *update = std::getenv("LBSIM_UPDATE_GOLDEN");
+        update && update[0] == '1') {
+        std::ofstream out(goldenPath(), std::ios::binary);
+        ASSERT_TRUE(static_cast<bool>(out))
+            << "cannot write " << goldenPath();
+        out << actual;
+        GTEST_SKIP() << "golden snapshot refreshed: " << goldenPath();
+    }
+
+    std::string golden;
+    ASSERT_TRUE(readFile(goldenPath(), golden))
+        << "missing " << goldenPath()
+        << " — generate it with LBSIM_UPDATE_GOLDEN=1";
+    EXPECT_EQ(golden, actual)
+        << "fig12 smoke metrics drifted from the golden snapshot.\n"
+        << firstDiffLine(golden, actual)
+        << "\nIf the change is intended, re-bless with "
+           "LBSIM_UPDATE_GOLDEN=1 and commit the diff.";
+}
+
+} // namespace
+} // namespace lbsim

@@ -8,6 +8,7 @@
 
 #include <cmath>
 
+#include "common/stats.hpp"
 #include "harness/sim_runner.hpp"
 #include "workload/suite.hpp"
 
@@ -136,6 +137,44 @@ TEST(GpuIntegration, DeterministicAcrossRuns)
     EXPECT_EQ(a.stats.instructionsIssued, b.stats.instructionsIssued);
     EXPECT_EQ(a.stats.l1.l1Hits, b.stats.l1.l1Hits);
     EXPECT_EQ(a.stats.dramLineTransfers(), b.stats.dramLineTransfers());
+}
+
+TEST(GpuIntegration, LockstepCleanAcrossSchemes)
+{
+    // The differential reference model must agree with the timing
+    // simulator on every access outcome and eviction across the full
+    // policy space, not just the baseline.
+    RunnerOptions options = fastOptions();
+    options.maxCycles = 60000;
+    options.lockstep = true;
+    SimRunner runner({}, {}, options);
+    const AppProfile &app = appById("S2");
+    for (const SchemeConfig &scheme :
+         {SchemeConfig::baseline(), SchemeConfig::pcal(),
+          SchemeConfig::cerf(), SchemeConfig::linebacker(),
+          SchemeConfig::selectiveVictimCaching()}) {
+        const RunMetrics m = runner.run(app, scheme);
+        SCOPED_TRACE(scheme.name);
+        EXPECT_GT(m.lockstepChecks, 0u);
+        EXPECT_EQ(m.lockstepMismatches, 0u) << m.lockstepFirstMismatch;
+    }
+}
+
+TEST(GpuIntegration, LockstepMatchesUncheckedRunExactly)
+{
+    // The checkers are taps, not actors: enabling lockstep must not
+    // perturb a single counter of the simulation it observes.
+    RunnerOptions options = fastOptions();
+    options.maxCycles = 60000;
+    SimRunner plain({}, {}, options);
+    options.lockstep = true;
+    SimRunner checked({}, {}, options);
+    const AppProfile &app = appById("KM");
+    const RunMetrics a = plain.run(app, SchemeConfig::linebacker());
+    const RunMetrics b = checked.run(app, SchemeConfig::linebacker());
+    EXPECT_EQ(serializeStats(a.stats), serializeStats(b.stats))
+        << "lockstep perturbed the run: "
+        << firstStatDifference(a.stats, b.stats);
 }
 
 TEST(GpuIntegration, WarmupResetPreservesRates)

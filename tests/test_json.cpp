@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the streaming JSON writer: structural output, string
+ * escaping, non-finite double handling, and the misuse checks behind
+ * the nesting discipline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+/** Captures check failures instead of aborting (see test_check.cpp). */
+class CheckCapture
+{
+  public:
+    CheckCapture()
+    {
+        previous_ = setCheckFailureHandler(
+            [this](const CheckFailure &failure) {
+                failures_.push_back(failure);
+            });
+    }
+
+    ~CheckCapture() { setCheckFailureHandler(previous_); }
+
+    const std::vector<CheckFailure> &failures() const { return failures_; }
+
+  private:
+    CheckFailureHandler previous_;
+    std::vector<CheckFailure> failures_;
+};
+
+TEST(JsonWriter, EmitsValidNestedStructure)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("name", "bench");
+    json.field("count", std::uint64_t{3});
+    json.field("enabled", true);
+    json.beginArrayField("values");
+    json.value(1.5);
+    json.value("two");
+    json.endArray();
+    json.beginObjectField("nested");
+    json.field("ipc", 0.5);
+    json.endObject();
+    json.endObject();
+
+    EXPECT_EQ(out.str(), "{\n"
+                         "  \"name\": \"bench\",\n"
+                         "  \"count\": 3,\n"
+                         "  \"enabled\": true,\n"
+                         "  \"values\": [\n"
+                         "    1.5,\n"
+                         "    \"two\"\n"
+                         "  ],\n"
+                         "  \"nested\": {\n"
+                         "    \"ipc\": 0.5\n"
+                         "  }\n"
+                         "}");
+}
+
+TEST(JsonWriter, EmptyContainersStayOnOneLine)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.beginArrayField("empty");
+    json.endArray();
+    json.beginObjectField("nothing");
+    json.endObject();
+    json.endObject();
+    EXPECT_EQ(out.str(), "{\n"
+                         "  \"empty\": [],\n"
+                         "  \"nothing\": {}\n"
+                         "}");
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+    EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+    EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+    EXPECT_EQ(JsonWriter::escape("cr\rhere"), "cr\\rhere");
+    // Other control characters become \u escapes.
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x1f')), "\\u001f");
+    // High-bit bytes (UTF-8 continuation) pass through untouched.
+    EXPECT_EQ(JsonWriter::escape("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonWriter, EscapingAppliesToKeysAndValues)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("ke\"y", "va\nlue");
+    json.endObject();
+    EXPECT_NE(out.str().find("\"ke\\\"y\": \"va\\nlue\""),
+              std::string::npos);
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("nan", std::nan(""));
+    json.field("inf", std::numeric_limits<double>::infinity());
+    json.field("ninf", -std::numeric_limits<double>::infinity());
+    json.field("finite", 2.0);
+    json.endObject();
+    EXPECT_EQ(out.str(), "{\n"
+                         "  \"nan\": null,\n"
+                         "  \"inf\": null,\n"
+                         "  \"ninf\": null,\n"
+                         "  \"finite\": 2\n"
+                         "}");
+}
+
+TEST(JsonWriter, DoublesRoundTripAtFullPrecision)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("third", 1.0 / 3.0);
+    json.endObject();
+    const std::string text = out.str();
+    const std::size_t colon = text.find(": ");
+    ASSERT_NE(colon, std::string::npos);
+    const double parsed = std::strtod(text.c_str() + colon + 2, nullptr);
+    EXPECT_EQ(parsed, 1.0 / 3.0);
+}
+
+// LB_ASSERT-backed misuse detection is only compiled at fast+ levels.
+#if LBSIM_CHECKS_LEVEL >= 1
+
+TEST(JsonWriterMisuse, KeyOutsideObjectFails)
+{
+    CheckCapture capture;
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.field("orphan", 1.0); // No object open.
+    ASSERT_EQ(capture.failures().size(), 1u);
+    EXPECT_NE(capture.failures()[0].message.find("orphan"),
+              std::string::npos);
+}
+
+TEST(JsonWriterMisuse, KeyInsideArrayFails)
+{
+    CheckCapture capture;
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginArray();
+    json.field("key", 1.0); // Arrays take values, not fields.
+    EXPECT_EQ(capture.failures().size(), 1u);
+}
+
+TEST(JsonWriterMisuse, ScalarElementOutsideArrayFails)
+{
+    CheckCapture capture;
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.value(1.0); // Objects take fields, not bare values.
+    EXPECT_EQ(capture.failures().size(), 1u);
+}
+
+TEST(JsonWriterMisuse, UnbalancedCloseFails)
+{
+    CheckCapture capture;
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.endArray(); // Mismatched close.
+    EXPECT_GE(capture.failures().size(), 1u);
+}
+
+#endif // LBSIM_CHECKS_LEVEL >= 1
+
+} // namespace
+} // namespace lbsim

@@ -11,6 +11,7 @@
 #include "mem/interconnect.hpp"
 #include "mem/l1_cache.hpp"
 #include "mem/memory_partition.hpp"
+#include "testing/lockstep.hpp"
 
 namespace lbsim
 {
@@ -319,6 +320,45 @@ TEST_F(L1Fixture, StalledAccessHasNoObserverSideEffects)
     // Next miss stalls and must not be observed.
     EXPECT_EQ(l1->access(load(id, 1 << 30), now), L1Outcome::StallNoMshr);
     EXPECT_EQ(observed, accepted);
+}
+
+TEST_F(L1Fixture, LockstepCheckerStaysSilentAcrossPolicyPaths)
+{
+    // The reference model must track hits, merged misses, write-evict
+    // stores, and capacity evictions without a single disagreement.
+    RecordingVictim victim;
+    l1->setVictimCache(&victim);
+    LockstepL1Checker checker(*l1, 0);
+
+    std::uint64_t id = 1;
+    const std::uint32_t sets = cfg.l1.sets();
+    for (std::uint32_t round = 0; round < 3; ++round) {
+        for (std::uint32_t i = 0; i < cfg.l1.ways + 2; ++i) {
+            // Same-set lines force evictions once the set fills.
+            l1->access(load(id, (static_cast<Addr>(i) * sets) *
+                                    kLineBytes),
+                       now);
+            completeAccess(id++);
+        }
+    }
+    L1Access store = load(id, 0);
+    store.isWrite = true;
+    l1->access(store, now);
+
+    EXPECT_GT(checker.log().checks(), 0u);
+    EXPECT_EQ(checker.log().mismatches(), 0u)
+        << checker.log().reports().front();
+}
+
+TEST_F(L1Fixture, LockstepCheckerTripsOnFabricatedVictimHit)
+{
+    RecordingVictim victim;
+    victim.hitLine = 4096; // Never evicted from this L1.
+    l1->setVictimCache(&victim);
+    LockstepL1Checker checker(*l1, 0);
+
+    EXPECT_EQ(l1->access(load(1, 4096), now), L1Outcome::VictimHit);
+    EXPECT_GT(checker.log().mismatches(), 0u);
 }
 
 } // namespace

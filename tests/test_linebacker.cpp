@@ -9,6 +9,7 @@
 
 #include "core/gpu.hpp"
 #include "lb/linebacker.hpp"
+#include "testing/lockstep.hpp"
 #include "workload/pattern.hpp"
 
 namespace lbsim
@@ -184,6 +185,47 @@ TEST_F(LinebackerFixture, MonitoringWindowsReported)
     build(SchemeConfig::linebacker());
     gpu->runKernel(kernel);
     EXPECT_GE(lbu->monitoringWindows(), 2u);
+}
+
+TEST_F(LinebackerFixture, LockstepRunIsClean)
+{
+    build(SchemeConfig::linebacker());
+    // Attach after setControllers so the checker wraps Linebacker's
+    // victim interface; the run must produce victim traffic and still
+    // be mismatch-free.
+    LockstepHarness lockstep;
+    lockstep.attach(*gpu);
+    const SimStats &stats = gpu->runKernel(kernel);
+    EXPECT_GT(stats.l1.regHits, 0u);
+    EXPECT_GT(lockstep.checkCount(), 0u);
+    EXPECT_EQ(lockstep.mismatchCount(), 0u) << lockstep.reportString();
+}
+
+TEST_F(LinebackerFixture, LockstepCatchesFabricatedVttEntry)
+{
+    build(SchemeConfig::linebacker());
+    LockstepHarness lockstep;
+    lockstep.attach(*gpu);
+    gpu->runKernel(kernel);
+    ASSERT_EQ(lockstep.mismatchCount(), 0u) << lockstep.firstMismatch();
+    ASSERT_GT(lbu->vtt().activePartitions(), 0u);
+    ASSERT_FALSE(lbu->vtt().tagOnlyMode());
+
+    // Fabricate a VTT entry for a line the kernel never touched — a
+    // victim-cache hit on it is unsound, and the lockstep tap between
+    // the L1 and Linebacker must say so.
+    const Addr bogus = Addr{3} << 40;
+    const auto set = static_cast<std::uint32_t>(
+        lineIndex(bogus) % lbu->vtt().sets());
+    lbu->vttForTest().setEntryForTest(0, set, 0, bogus, true, 0);
+
+    L1Access access;
+    access.accessId = 1;
+    access.lineAddr = bogus;
+    const L1Outcome outcome =
+        gpu->sm(0).l1().access(access, gpu->now());
+    EXPECT_EQ(outcome, L1Outcome::VictimHit);
+    EXPECT_GT(lockstep.mismatchCount(), 0u);
 }
 
 } // namespace
