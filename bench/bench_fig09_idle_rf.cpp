@@ -46,9 +46,12 @@ main(int argc, char **argv)
         stat_sum += stat_b;
         dyn_sum += dyn_b;
         within_two += m.monitoringWindows <= 2 ? 1 : 0;
+        std::string windows = "(";
+        windows += std::to_string(m.monitoringWindows);
+        windows += ")";
         table.addRow({result.app, fmtKb(stat_b), fmtKb(dyn_b),
                       fmtKb(m.avgVictimRegs * kLineBytes),
-                      "(" + std::to_string(m.monitoringWindows) + ")"});
+                      std::move(windows)});
     }
     std::fputs(table.render().c_str(), stdout);
 

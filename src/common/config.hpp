@@ -95,6 +95,15 @@ struct GpuConfig
      */
     Cycle auditStride = 8192;
 
+    /**
+     * Forward-progress watchdog: terminate the run once this many cycles
+     * pass with no instruction issued and no memory request retired
+     * anywhere on the chip, and emit a structured hang report. 0 (the
+     * default) disables the watchdog. No architectural effect on runs
+     * that make progress.
+     */
+    Cycle watchdogCycles = 0;
+
     /** Warp registers (128 B each) in the register file. */
     std::uint32_t
     totalWarpRegisters() const

@@ -6,21 +6,26 @@
 namespace lbsim
 {
 
-Gpu::Gpu(const GpuConfig &cfg, const GpuBuildOptions &options) : cfg_(cfg)
+Gpu::Gpu(const GpuConfig &cfg, const GpuBuildOptions &options)
+    : cfg_(cfg), injector_(options.faultPlan)
 {
-    icnt_ = std::make_unique<Interconnect>(cfg_, &stats_);
+    // The injector is always wired; an unarmed plan costs one branch per
+    // query site.
+    icnt_ = std::make_unique<Interconnect>(cfg_, &stats_, &injector_);
     for (std::uint32_t p = 0; p < cfg_.numMemPartitions; ++p) {
         partitions_.push_back(
             std::make_unique<MemoryPartition>(cfg_, p, icnt_.get(),
-                                              &stats_));
+                                              &stats_, &injector_));
         icnt_->attachPartition(p, partitions_.back().get());
     }
     for (std::uint32_t s = 0; s < cfg_.numSms; ++s) {
         sms_.push_back(std::make_unique<Sm>(cfg_, s, icnt_.get(), &stats_,
                                             options.l1ExtraWays,
-                                            options.cerfUnified));
+                                            options.cerfUnified,
+                                            &injector_));
     }
     controllers_.resize(sms_.size(), nullptr);
+    smProgress_.resize(sms_.size(), 0);
 }
 
 Gpu::~Gpu() = default;
@@ -49,6 +54,14 @@ Gpu::tick()
     if constexpr (checksEnabled(CheckLevel::Full)) {
         if (cfg_.auditStride != 0 && now_ % cfg_.auditStride == 0)
             audit();
+    }
+    if (watchdog_) {
+        for (std::size_t s = 0; s < sms_.size(); ++s)
+            smProgress_[s] = sms_[s]->instructionsIssued();
+        watchdog_->observe(now_,
+                           stats_.instructionsIssued +
+                               icnt_->ledger().totalRetired(),
+                           smProgress_);
     }
     ++now_;
 }
@@ -90,11 +103,18 @@ Gpu::runKernel(const KernelInfo &kernel)
     dispatcher_->setControllers(controllers_);
     dispatcher_->tick(now_);
 
+    if (cfg_.watchdogCycles > 0) {
+        watchdog_ = std::make_unique<Watchdog>(
+            cfg_.watchdogCycles,
+            static_cast<std::uint32_t>(sms_.size()));
+    }
+    hangReport_ = HangReport{};
+
     // Warm-up: simulate without measuring, then reset statistics so the
     // reported window reflects warm-state behaviour for every scheme.
     if (cfg_.warmupCycles > 0) {
         const Cycle warm_end = now_ + cfg_.warmupCycles;
-        while (now_ < warm_end && !done())
+        while (now_ < warm_end && !done() && !watchdogTripped())
             tick();
         stats_ = SimStats{};
         measureStart_ = now_;
@@ -107,15 +127,22 @@ Gpu::runKernel(const KernelInfo &kernel)
     }
 
     const Cycle deadline = now_ + cfg_.maxCycles;
-    while (now_ < deadline && !done())
+    while (now_ < deadline && !done() && !watchdogTripped())
         tick();
 
     // Compute draining leaves posted writes (write-evict spills,
     // write-no-allocate stores) still crossing the interconnect; let
     // them land — as a kernel-boundary memory fence would — so the
     // end-of-run audit's "nothing in flight" claim is meaningful.
-    while (now_ < deadline && done() && !icnt_->quiescent())
+    while (now_ < deadline && done() && !icnt_->quiescent() &&
+           !watchdogTripped()) {
         tick();
+    }
+
+    // A wedged run terminates deterministically with a diagnosis
+    // instead of burning the rest of its cycle budget.
+    if (watchdogTripped())
+        hangReport_ = buildHangReport();
 
     // A drained grid must leave no request in flight anywhere; a run
     // that merely exhausted its budget legitimately has some.
@@ -126,6 +153,49 @@ Gpu::runKernel(const KernelInfo &kernel)
 
     finalizeStats();
     return stats_;
+}
+
+HangReport
+Gpu::buildHangReport() const
+{
+    HangReport report;
+    report.cycle = now_;
+    report.threshold = watchdog_->threshold();
+    report.lastProgress = watchdog_->lastProgressCycle();
+
+    const OldestRequest oldest = icnt_->ledger().oldestOutstanding();
+    if (oldest.valid) {
+        report.oldest.valid = true;
+        report.oldest.smId = oldest.smId;
+        report.oldest.kind = requestKindName(oldest.kind);
+        report.oldest.lineAddr = oldest.lineAddr;
+        report.oldest.issued = oldest.issued;
+    }
+
+    for (std::size_t s = 0; s < sms_.size(); ++s) {
+        const Sm &sm = *sms_[s];
+        HangReportSm entry;
+        entry.id = static_cast<std::uint32_t>(s);
+        entry.instructionsIssued = sm.instructionsIssued();
+        entry.lastProgress =
+            watchdog_->lastSmProgressCycle(static_cast<std::uint32_t>(s));
+        entry.idle = sm.idle();
+        entry.mshrInUse = sm.l1().mshrs().inUse();
+        entry.mshrCapacity = sm.l1().mshrs().capacity();
+        entry.detail = sm.debugString();
+        if (controllers_[s])
+            entry.controller = controllers_[s]->statusString();
+        report.sms.push_back(std::move(entry));
+    }
+
+    report.subsystems.emplace_back("interconnect", icnt_->debugString());
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+        report.subsystems.emplace_back("partition " + std::to_string(p),
+                                       partitions_[p]->debugString());
+    }
+    if (injector_.armed())
+        report.faultSummary = injector_.summary();
+    return report;
 }
 
 void

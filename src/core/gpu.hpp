@@ -20,6 +20,8 @@
 #include "core/sm.hpp"
 #include "mem/interconnect.hpp"
 #include "mem/memory_partition.hpp"
+#include "resilience/faultinject.hpp"
+#include "resilience/watchdog.hpp"
 
 namespace lbsim
 {
@@ -29,6 +31,7 @@ struct GpuBuildOptions
 {
     std::uint32_t l1ExtraWays = 0;  ///< CERF / CacheExt way extension.
     bool cerfUnified = false;       ///< Cache data shares RF banks.
+    FaultPlan faultPlan;            ///< Deterministic fault schedule.
 };
 
 /** The simulated GPU chip. */
@@ -85,14 +88,37 @@ class Gpu
     /** Fold per-SM occupancy accumulators into stats (idempotent-safe). */
     void finalizeStats();
 
+    // --- Resilience ------------------------------------------------------
+
+    /** Fault injector consulted by every subsystem (may be unarmed). */
+    FaultInjector &faultInjector() { return injector_; }
+    const FaultInjector &faultInjector() const { return injector_; }
+
+    /** True if the last runKernel() was terminated by the watchdog. */
+    bool
+    watchdogTripped() const
+    {
+        return watchdog_ && watchdog_->tripped();
+    }
+
+    /** Structured hang diagnosis; empty() unless the watchdog tripped. */
+    const HangReport &hangReport() const { return hangReport_; }
+
   private:
+    HangReport buildHangReport() const;
+
     GpuConfig cfg_;
     SimStats stats_;
+    FaultInjector injector_;
     std::unique_ptr<Interconnect> icnt_;
     std::vector<std::unique_ptr<MemoryPartition>> partitions_;
     std::vector<std::unique_ptr<Sm>> sms_;
     std::unique_ptr<CtaDispatcher> dispatcher_;
     std::vector<SmControllerIf *> controllers_;
+    std::unique_ptr<Watchdog> watchdog_;
+    HangReport hangReport_;
+    /** Per-SM progress scratch fed to the watchdog each cycle. */
+    std::vector<std::uint64_t> smProgress_;
     Cycle now_ = 0;
     Cycle measureStart_ = 0;
 };

@@ -10,12 +10,13 @@ namespace lbsim
 {
 
 Sm::Sm(const GpuConfig &cfg, std::uint32_t sm_id, Interconnect *icnt,
-       SimStats *stats, std::uint32_t l1_extra_ways, bool cerf_unified)
+       SimStats *stats, std::uint32_t l1_extra_ways, bool cerf_unified,
+       FaultInjector *fi)
     : cfg_(cfg), id_(sm_id), icnt_(icnt), stats_(stats), rf_(cfg, stats),
       l1_(std::make_unique<L1Cache>(cfg, sm_id, icnt, stats,
                                     l1_extra_ways)),
       ldst_(cfg, l1_.get(), stats), warps_(cfg.maxWarpsPerSm),
-      ctas_(cfg.maxCtasPerSm)
+      ctas_(cfg.maxCtasPerSm), fi_(fi)
 {
     for (std::uint32_t s = 0; s < cfg.schedulersPerSm; ++s)
         schedulers_.emplace_back(s, cfg.schedulersPerSm);

@@ -31,6 +31,7 @@ namespace lbsim
 {
 
 class Sm;
+class FaultInjector;
 
 /** Policy hook attached to an SM (Linebacker / PCAL / SWL / none). */
 class SmControllerIf
@@ -95,6 +96,9 @@ class SmControllerIf
         (void)sm;
         (void)now;
     }
+
+    /** One-line state summary for hang reports (empty = nothing). */
+    virtual std::string statusString() const { return {}; }
 };
 
 /** One streaming multiprocessor. */
@@ -108,10 +112,12 @@ class Sm : public ResponseSinkIf
      * @param stats Run-wide counters.
      * @param l1_extra_ways CERF/CacheExt capacity extension.
      * @param cerf_unified Route cache data accesses through RF banks.
+     * @param fi Optional fault injector exposed to attached mechanisms
+     *     (backup-engine stalls, VTT revocation, load-monitor lies).
      */
     Sm(const GpuConfig &cfg, std::uint32_t sm_id, Interconnect *icnt,
        SimStats *stats, std::uint32_t l1_extra_ways = 0,
-       bool cerf_unified = false);
+       bool cerf_unified = false, FaultInjector *fi = nullptr);
 
     /** Bind the kernel to execute. */
     void setKernel(const KernelInfo *kernel);
@@ -171,6 +177,7 @@ class Sm : public ResponseSinkIf
     Cta &cta(std::uint32_t hw_id) { return ctas_[hw_id]; }
     std::uint64_t instructionsIssued() const { return issued_; }
     SimStats &stats() { return *stats_; }
+    FaultInjector *faultInjector() const { return fi_; }
 
     /** Time-averaged register occupancy (finalize at run end). */
     double avgActiveRegs(Cycle cycles) const;
@@ -211,6 +218,7 @@ class Sm : public ResponseSinkIf
     std::vector<Cta> ctas_;
     const KernelInfo *kernel_ = nullptr;
     SmControllerIf *controller_ = nullptr;
+    FaultInjector *fi_ = nullptr;
     ResponseSinkIf *restoreSink_ = nullptr;
     std::uint64_t issued_ = 0;
     std::uint64_t launchCounter_ = 0;

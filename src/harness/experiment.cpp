@@ -1,9 +1,11 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "harness/oracle.hpp"
+#include "resilience/isolation.hpp"
 
 namespace lbsim
 {
@@ -153,6 +155,122 @@ ExperimentPlan::schemeOrder() const
     return distinctInOrder(cells_, &ExperimentCell::scheme);
 }
 
+namespace
+{
+
+/** Execute @p cell on this thread, folding the run outcome in. */
+void
+executeCellInProcess(const ExperimentCell &cell, CellResult &result)
+{
+    try {
+        // Worker-private runner: cells never share mutable simulator
+        // state, only the thread-safe memo cache.
+        SimRunner runner(cell.gpu, cell.lb, cell.options);
+        result.metrics = cell.body(runner);
+        result.outcome = result.metrics.outcome;
+        result.hangReport = result.metrics.hangReport;
+        if (result.outcome == RunOutcome::Hang)
+            result.error = "watchdog tripped (see hang report)";
+        else
+            result.ok = true;
+    } catch (const std::exception &e) {
+        result.error = e.what();
+        result.outcome = RunOutcome::Crashed;
+    } catch (...) {
+        result.error = "unknown exception";
+        result.outcome = RunOutcome::Crashed;
+    }
+}
+
+/**
+ * Execute @p cell in a forked child so a crash or runaway hang cannot
+ * take the sweep down. Crashed children are retried with exponential
+ * backoff (a transient failure — OOM-kill under memory pressure, a
+ * stray signal — deserves a second chance; a deterministic crash fails
+ * every attempt identically).
+ */
+void
+executeCellIsolated(const ExperimentCell &cell, CellResult &result,
+                    const EngineOptions &options)
+{
+    IsolationResult iso;
+    for (unsigned attempt = 0;; ++attempt) {
+        iso = runIsolatedTask(
+            [&cell]() -> std::pair<bool, std::string> {
+                SimRunner runner(cell.gpu, cell.lb, cell.options);
+                const RunMetrics m = cell.body(runner);
+                // Payload: outcome line, metrics line, hang report tail.
+                std::string payload = runOutcomeName(m.outcome);
+                payload += '\n';
+                payload += serializeRunMetrics(m);
+                payload += '\n';
+                payload += m.hangReport;
+                return {true, payload};
+            },
+            options.cellTimeoutSec);
+        if (iso.status != IsolationStatus::Crashed ||
+            attempt >= options.maxRetries)
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<std::uint64_t>(options.retryBackoffMs)
+            << attempt));
+    }
+
+    switch (iso.status) {
+      case IsolationStatus::Ok: {
+        const std::size_t nl1 = iso.payload.find('\n');
+        const std::size_t nl2 = nl1 == std::string::npos
+            ? std::string::npos
+            : iso.payload.find('\n', nl1 + 1);
+        RunOutcome outcome = RunOutcome::Ok;
+        RunMetrics metrics;
+        const std::size_t metrics_end =
+            nl2 == std::string::npos ? iso.payload.size() : nl2;
+        if (nl1 == std::string::npos ||
+            !parseRunOutcome(iso.payload.substr(0, nl1), outcome) ||
+            !deserializeRunMetrics(
+                iso.payload.substr(nl1 + 1, metrics_end - nl1 - 1),
+                metrics)) {
+            result.error = "malformed result from isolated cell";
+            result.outcome = RunOutcome::Crashed;
+            return;
+        }
+        metrics.appId = result.app;
+        metrics.schemeName = result.scheme;
+        metrics.outcome = outcome;
+        if (nl2 != std::string::npos)
+            metrics.hangReport = iso.payload.substr(nl2 + 1);
+        result.metrics = std::move(metrics);
+        result.outcome = outcome;
+        result.hangReport = result.metrics.hangReport;
+        if (outcome == RunOutcome::Hang)
+            result.error = "watchdog tripped (see hang report)";
+        else
+            result.ok = true;
+        return;
+      }
+      case IsolationStatus::TaskFailed:
+        result.error = iso.payload;
+        result.outcome = RunOutcome::Crashed;
+        return;
+      case IsolationStatus::Timeout:
+        result.error = "cell exceeded its " +
+            std::to_string(options.cellTimeoutSec) +
+            "s wall-clock guard";
+        result.outcome = RunOutcome::Hang;
+        return;
+      case IsolationStatus::Crashed:
+        result.error = iso.payload;
+        result.outcome = RunOutcome::Crashed;
+        return;
+      case IsolationStatus::Unsupported:
+        executeCellInProcess(cell, result);
+        return;
+    }
+}
+
+} // namespace
+
 ExperimentEngine::ExperimentEngine(EngineOptions options)
     : options_(std::move(options))
 {
@@ -196,17 +314,10 @@ ExperimentEngine::run(const ExperimentPlan &plan) const
             result.app = cell.app;
             result.scheme = cell.scheme;
             result.variant = cell.variant;
-            try {
-                // Worker-private runner: cells never share mutable
-                // simulator state, only the thread-safe memo cache.
-                SimRunner runner(cell.gpu, cell.lb, cell.options);
-                result.metrics = cell.body(runner);
-                result.ok = true;
-            } catch (const std::exception &e) {
-                result.error = e.what();
-            } catch (...) {
-                result.error = "unknown exception";
-            }
+            if (options_.isolateCells)
+                executeCellIsolated(cell, result, options_);
+            else
+                executeCellInProcess(cell, result);
 
             const std::size_t done = completed.fetch_add(1) + 1;
             std::lock_guard<std::mutex> lock(report_mutex);

@@ -149,6 +149,10 @@ struct CellResult
     RunMetrics metrics;
     bool ok = false;
     std::string error;  ///< Exception text when !ok.
+    /** How the run ended (hang/crash detail beyond the ok bit). */
+    RunOutcome outcome = RunOutcome::Ok;
+    /** Hang diagnosis when outcome == Hang; empty otherwise. */
+    std::string hangReport;
 };
 
 /** Engine execution options. */
@@ -165,6 +169,21 @@ struct EngineOptions
         onCellDone;
     /** Emit "[done/total] app/scheme" progress lines on stderr. */
     bool printProgress = false;
+
+    // --- Crash isolation -----------------------------------------------
+    /**
+     * Run every cell in a forked child so a crash (or runaway hang)
+     * poisons only that cell: surviving cells still land, the crashed
+     * one records outcome Crashed with the child's verdict. Falls back
+     * to in-process execution where fork() is unavailable.
+     */
+    bool isolateCells = false;
+    /** Wall-clock guard per isolated cell in seconds; 0 disables. */
+    unsigned cellTimeoutSec = 0;
+    /** Extra attempts for a Crashed (possibly transient) cell. */
+    unsigned maxRetries = 1;
+    /** Base backoff before a retry; doubles per attempt. */
+    unsigned retryBackoffMs = 50;
 };
 
 /** Executes experiment plans on a worker-thread pool. */

@@ -24,8 +24,10 @@ MemoCache::schemaHeader()
 {
     // Bump the trailing number whenever the on-disk format (not the key
     // semantics — those live in the key hash) changes; files carrying a
-    // different header are discarded instead of misread.
-    return "#lbsim-memo-schema 2";
+    // different header are discarded instead of misread. Schema 3:
+    // metrics values carry the run outcome, and abnormally-ended runs
+    // are never persisted.
+    return "#lbsim-memo-schema 3";
 }
 
 MemoCache::MemoCache(std::string path) : path_(std::move(path))
@@ -124,8 +126,17 @@ std::string
 MemoCache::getOrCompute(const std::string &key,
                         const std::function<std::string()> &compute)
 {
+    return getOrComputeIf(key, [&compute]() {
+        return ComputeResult{compute(), true};
+    });
+}
+
+std::string
+MemoCache::getOrComputeIf(const std::string &key,
+                          const std::function<ComputeResult()> &compute)
+{
     if (!enabled_)
-        return compute();
+        return compute().value;
 
     std::shared_future<std::string> waiter;
     std::promise<std::string> promise;
@@ -145,15 +156,17 @@ MemoCache::getOrCompute(const std::string &key,
         return waiter.get(); // May rethrow the winner's exception.
 
     try {
-        std::string value = compute();
+        ComputeResult result = compute();
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            entries_[key] = value;
-            append(key, value);
+            if (result.persist) {
+                entries_[key] = result.value;
+                append(key, result.value);
+            }
             inflight_.erase(key);
         }
-        promise.set_value(value);
-        return value;
+        promise.set_value(result.value);
+        return result.value;
     } catch (...) {
         {
             std::lock_guard<std::mutex> lock(mutex_);

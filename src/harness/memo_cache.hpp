@@ -55,6 +55,28 @@ class MemoCache
     std::string getOrCompute(const std::string &key,
                              const std::function<std::string()> &compute);
 
+    /** What a conditional computation produced. */
+    struct ComputeResult
+    {
+        std::string value;
+        /**
+         * False keeps the value out of the store entirely (no map entry,
+         * no file append) — the contract abnormally-ended runs rely on:
+         * a hang or fault-degraded run must never be replayed from cache
+         * as if it were a healthy result.
+         */
+        bool persist = true;
+    };
+
+    /**
+     * Like getOrCompute(), but @p compute decides whether its result may
+     * be persisted. Waiters sharing the single-flight slot still receive
+     * a non-persisted value; only the store is skipped.
+     */
+    std::string
+    getOrComputeIf(const std::string &key,
+                   const std::function<ComputeResult()> &compute);
+
     /** True if the cache is usable (not disabled via LBSIM_NO_CACHE). */
     bool enabled() const { return enabled_; }
 

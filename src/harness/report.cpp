@@ -162,8 +162,15 @@ writeExperimentJson(const std::string &path, const std::string &bench,
         if (!result.variant.empty())
             json.field("variant", result.variant);
         json.field("ok", result.ok);
+        // Resilience fields are emitted only on abnormal cells so healthy
+        // runs keep producing byte-identical JSON (golden-metrics tests
+        // diff this output verbatim).
+        if (result.outcome != RunOutcome::Ok)
+            json.field("outcome", runOutcomeName(result.outcome));
         if (!result.ok) {
             json.field("error", result.error);
+            if (!result.hangReport.empty())
+                json.field("hangReport", result.hangReport);
             json.endObject();
             continue;
         }

@@ -20,7 +20,7 @@ namespace
 {
 
 /** Bump when simulator/workload semantics change to invalidate caches. */
-constexpr const char *kCacheVersion = "lbsim-v10";
+constexpr const char *kCacheVersion = "lbsim-v11";
 
 /** DUR bytes implied by a static warp limit (Best-SWL+CacheExt sizing). */
 std::uint32_t
@@ -94,8 +94,12 @@ describeConfig(const GpuConfig &cfg, const LbConfig &lb,
         << cfg.dramTiming.cl << ';' << cfg.dramTiming.wr << ';'
         << cfg.dramTiming.ras << ';' << cfg.dramQueueDepth << ';'
         << cfg.cacheExtBytes << ';' << cfg.maxCycles << ';'
-        << cfg.warmupCycles << ';' << options.simSms << ';'
-        << options.maxCycles;
+        << cfg.warmupCycles << ';' << cfg.watchdogCycles << ';'
+        << options.simSms << ';' << options.maxCycles;
+    // A fault plan perturbs timing, so faulted points must never collide
+    // with clean ones (nor with differently-faulted ones).
+    if (!options.faultPlan.empty())
+        out << ";F" << options.faultPlan.description();
     // Linebacker constants only matter to schemes that run a victim
     // mechanism; keying them for every scheme would needlessly re-run
     // baselines across LbConfig sweeps.
@@ -135,36 +139,69 @@ visitMetricFields(Metrics &m, Fn &&fn)
                      [&fn](const char *, auto &field) { fn(field); });
 }
 
+} // namespace
+
+const char *
+runOutcomeName(RunOutcome outcome)
+{
+    switch (outcome) {
+      case RunOutcome::Ok:
+        return "ok";
+      case RunOutcome::Hang:
+        return "hang";
+      case RunOutcome::FaultDegraded:
+        return "fault-degraded";
+      case RunOutcome::Crashed:
+        return "crashed";
+    }
+    return "?";
+}
+
+bool
+parseRunOutcome(const std::string &name, RunOutcome &out)
+{
+    for (int o = 0; o <= static_cast<int>(RunOutcome::Crashed); ++o) {
+        if (name == runOutcomeName(static_cast<RunOutcome>(o))) {
+            out = static_cast<RunOutcome>(o);
+            return true;
+        }
+    }
+    return false;
+}
+
 std::string
-serializeMetrics(const RunMetrics &m)
+serializeRunMetrics(const RunMetrics &m)
 {
     std::ostringstream out;
     out.precision(17);
-    bool first = true;
-    visitMetricFields(m, [&out, &first](const auto &field) {
-        if (!first)
-            out << ',';
-        first = false;
-        out << field;
-    });
+    // Outcome and fault count lead so a reader can classify the run
+    // before parsing the metric tail.
+    out << static_cast<int>(m.outcome) << ',' << m.faultsInjected;
+    visitMetricFields(m,
+                      [&out](const auto &field) { out << ',' << field; });
     return out.str();
 }
 
 bool
-deserializeMetrics(const std::string &text, RunMetrics &m)
+deserializeRunMetrics(const std::string &text, RunMetrics &m)
 {
     std::istringstream in(text);
     bool ok = true;
+    char sep;
+    int outcome = 0;
+    in >> outcome >> sep >> m.faultsInjected >> sep;
+    ok = static_cast<bool>(in) && outcome >= 0 &&
+        outcome <= static_cast<int>(RunOutcome::Crashed);
+    if (ok)
+        m.outcome = static_cast<RunOutcome>(outcome);
     visitMetricFields(m, [&in, &ok](auto &field) {
-        char sep;
+        char field_sep;
         in >> field;
         ok = ok && (static_cast<bool>(in) || in.eof());
-        in >> sep;
+        in >> field_sep;
     });
     return ok;
 }
-
-} // namespace
 
 double
 geomean(const std::vector<double> &values)
@@ -207,20 +244,33 @@ SimRunner::run(const AppProfile &app, const SchemeConfig &scheme)
     key << app.id << ':' << scheme.name << ':' << std::hex
         << fnv1a(key_src.str());
 
-    const std::string serialized = cache.getOrCompute(key.str(), [&] {
-        return serializeMetrics(runUncached(app, scheme));
+    // Abnormally-ended runs (hang, fault-degraded) must never be
+    // persisted: a cached hang would be replayed as a silent zero-IPC
+    // result forever. The fresh result is returned directly so its hang
+    // report survives (the cache format carries numeric fields only).
+    RunMetrics fresh;
+    bool computed = false;
+    const std::string serialized = cache.getOrComputeIf(key.str(), [&] {
+        fresh = runUncached(app, scheme);
+        computed = true;
+        return MemoCache::ComputeResult{
+            serializeRunMetrics(fresh),
+            fresh.outcome == RunOutcome::Ok};
     });
+    if (computed)
+        return fresh;
 
     RunMetrics metrics;
     metrics.appId = app.id;
     metrics.schemeName = scheme.name;
-    if (deserializeMetrics(serialized, metrics))
+    if (deserializeRunMetrics(serialized, metrics))
         return metrics;
 
     // Corrupt entry (e.g. truncated by a crashed writer): recompute and
     // overwrite rather than propagating zeros.
     metrics = runUncached(app, scheme);
-    cache.store(key.str(), serializeMetrics(metrics));
+    if (metrics.outcome == RunOutcome::Ok)
+        cache.store(key.str(), serializeRunMetrics(metrics));
     return metrics;
 }
 
@@ -236,6 +286,7 @@ SimRunner::runUncached(const AppProfile &app, const SchemeConfig &scheme)
     const KernelInfo kernel = app.buildKernel(cfg);
 
     GpuBuildOptions build;
+    build.faultPlan = options_.faultPlan;
     if (scheme.cerfUnified) {
         build.l1ExtraWays += cerfExtraWays(cfg, kernel);
         build.cerfUnified = true;
@@ -307,6 +358,14 @@ SimRunner::runUncached(const AppProfile &app, const SchemeConfig &scheme)
     metrics.schemeName = scheme.name;
     metrics.stats = stats;
     metrics.ipc = stats.ipc();
+    metrics.faultsInjected = gpu.faultInjector().totalFired();
+    if (gpu.watchdogTripped()) {
+        metrics.outcome = RunOutcome::Hang;
+        metrics.hangReport = gpu.hangReport().text();
+        metrics.hangReportJson = gpu.hangReport().json();
+    } else if (metrics.faultsInjected > 0) {
+        metrics.outcome = RunOutcome::FaultDegraded;
+    }
     if (options_.lockstep) {
         metrics.lockstepChecks = lockstep.checkCount();
         metrics.lockstepMismatches = lockstep.mismatchCount();

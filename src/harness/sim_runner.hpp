@@ -19,10 +19,26 @@
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "power/energy_model.hpp"
+#include "resilience/faultinject.hpp"
 #include "workload/app_profile.hpp"
 
 namespace lbsim
 {
+
+/** How one simulation run ended. */
+enum class RunOutcome : std::uint8_t
+{
+    Ok = 0,         ///< Ran to its budget/drain normally, no faults.
+    Hang,           ///< Terminated by the forward-progress watchdog.
+    FaultDegraded,  ///< Completed, but injected faults actually fired.
+    Crashed,        ///< Child process died (isolated sweeps only).
+};
+
+/** Stable textual name ("ok", "hang", "fault-degraded", "crashed"). */
+const char *runOutcomeName(RunOutcome outcome);
+
+/** Inverse of runOutcomeName(). @return false on unknown name. */
+bool parseRunOutcome(const std::string &name, RunOutcome &out);
 
 /** Metrics distilled from one simulation run. */
 struct RunMetrics
@@ -46,7 +62,26 @@ struct RunMetrics
     std::uint64_t lockstepMismatches = 0;
     /** First mismatch report; empty when the run was clean. */
     std::string lockstepFirstMismatch;
+
+    // --- Resilience ----------------------------------------------------
+    RunOutcome outcome = RunOutcome::Ok;
+    /** Fault-hook observations of an active fault (injector total). */
+    std::uint64_t faultsInjected = 0;
+    /** Human-readable hang diagnosis; non-empty only on Hang. */
+    std::string hangReport;
+    /** JSON hang diagnosis; non-empty only on Hang. */
+    std::string hangReportJson;
 };
+
+/**
+ * Cache-format serialization of @p m (numeric fields only; hang reports
+ * and lockstep state never enter the cache). Exposed so the experiment
+ * engine can ship metrics across the crash-isolation pipe.
+ */
+std::string serializeRunMetrics(const RunMetrics &m);
+
+/** Inverse of serializeRunMetrics(). @return false on malformed text. */
+bool deserializeRunMetrics(const std::string &text, RunMetrics &m);
 
 /** Runner options shared across a bench binary. */
 struct RunnerOptions
@@ -69,6 +104,12 @@ struct RunnerOptions
      * metrics.
      */
     bool lockstep = false;
+    /**
+     * Deterministic fault schedule injected into every run (empty plan =
+     * no injection). Part of the memo-cache key; fault-degraded and hung
+     * runs are never persisted regardless.
+     */
+    FaultPlan faultPlan;
 };
 
 /** Runs one (app, scheme) pair on @p base_cfg. */

@@ -5,6 +5,7 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "core/sm.hpp"
+#include "resilience/faultinject.hpp"
 
 namespace lbsim
 {
@@ -88,6 +89,14 @@ BackupEngine::clearJob(std::uint32_t cta_hw_id)
 void
 BackupEngine::tick(Cycle now)
 {
+    // An injected staging-buffer stall freezes both the fill and drain
+    // stages for the cycle; in-flight state is untouched, so the
+    // transfer resumes exactly where it stopped once the window closes.
+    if (FaultInjector *fi = sm_->faultInjector();
+        fi && fi->backupStallActive(now)) {
+        return;
+    }
+
     // Fill staging-buffer slots: one register per cycle moves between the
     // register file and the buffer (charging the RF bank).
     if (!pendingLines_.empty() &&

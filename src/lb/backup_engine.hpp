@@ -74,6 +74,18 @@ class BackupEngine : public ResponseSinkIf
     /** Job/queue summary for failure reports. */
     std::string debugString() const;
 
+    /** Staging-buffer occupancy (hang-report snapshot). */
+    std::uint32_t stagingOccupancy() const
+    {
+        return static_cast<std::uint32_t>(buffer_.size());
+    }
+
+    /** Lines still waiting for a staging-buffer slot. */
+    std::uint32_t stagingBacklog() const
+    {
+        return static_cast<std::uint32_t>(pendingLines_.size());
+    }
+
     /**
      * Drop the accounting for one already-issued line of @p cta_hw_id's
      * job so tests can fabricate a conservation violation. Never call

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/log.hpp"
+#include "resilience/faultinject.hpp"
 
 namespace lbsim
 {
@@ -122,6 +123,17 @@ Linebacker::onCycle(Sm &sm, Cycle now)
         restoreWaitCta_ = -1;
         sm.setCtaActive(cta_id, true, now);
         ++stats_->ctaActivateEvents;
+    }
+
+    // Injected partition revocation: drop one active VTT partition
+    // (invalidating its victim lines) as if its backing registers were
+    // reclaimed out from under the mechanism. A later resizeVictimSpace
+    // may legitimately re-expand — the fault exercises the shrink path,
+    // not a permanent capacity loss.
+    if (FaultInjector *fi = sm.faultInjector();
+        fi && phase_ == Phase::Active && !vtt_.tagOnlyMode() &&
+        vtt_.activePartitions() > 0 && fi->takeVttRevoke(now)) {
+        vtt_.setActivePartitions(vtt_.activePartitions() - 1);
     }
 
     if (now >= nextWindowEnd_) {
@@ -487,11 +499,36 @@ void
 Linebacker::notifyAccess(Addr line_addr, Pc pc, std::uint8_t hpc,
                          std::uint8_t warp_slot, bool hit, Cycle now)
 {
-    (void)now;
     (void)line_addr;
     (void)warp_slot;
-    if (phase_ == Phase::Monitoring)
+    if (phase_ == Phase::Monitoring) {
+        // An injected load-monitor lie inverts the hit/miss observation,
+        // corrupting the locality classification the selection is built
+        // on — the mechanism must still settle into a safe phase.
+        if (FaultInjector *fi = sm_->faultInjector();
+            fi && fi->loadMonitorLieActive(now)) {
+            hit = !hit;
+        }
         lm_.recordAccess(pc, hpc, hit);
+    }
+}
+
+std::string
+Linebacker::statusString() const
+{
+    const char *phase = "monitoring";
+    if (phase_ == Phase::Active)
+        phase = "active";
+    else if (phase_ == Phase::Disabled)
+        phase = "disabled";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "linebacker: phase=%s vttParts=%u staging=%u backlog=%u "
+                  "backupWait=%d restoreWait=%d\n",
+                  phase, vtt_.activePartitions(),
+                  engine_->stagingOccupancy(), engine_->stagingBacklog(),
+                  backupWaitCta_, restoreWaitCta_);
+    return buf;
 }
 
 void

@@ -62,6 +62,7 @@ class Linebacker : public SmControllerIf, public VictimCacheIf
     void onCtaCompleted(Sm &sm, Cta &cta, Cycle now) override;
     bool onSchedulingOpportunity(Sm &sm, Cycle now) override;
     void onMeasurementReset(Sm &sm, Cycle now) override;
+    std::string statusString() const override;
 
     // --- VictimCacheIf ------------------------------------------------------
     VictimProbeResult probeVictim(Addr line_addr, Cycle now) override;

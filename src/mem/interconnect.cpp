@@ -5,12 +5,15 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "mem/memory_partition.hpp"
+#include "resilience/faultinject.hpp"
 
 namespace lbsim
 {
 
-Interconnect::Interconnect(const GpuConfig &cfg, SimStats *stats)
-    : cfg_(cfg), stats_(stats), partitions_(cfg.numMemPartitions, nullptr),
+Interconnect::Interconnect(const GpuConfig &cfg, SimStats *stats,
+                           FaultInjector *fi)
+    : cfg_(cfg), stats_(stats), fi_(fi),
+      partitions_(cfg.numMemPartitions, nullptr),
       sinks_(cfg.numSms, nullptr),
       maxInFlightPerSm_(cfg.l1MshrEntries + cfg.dramQueueDepth),
       inFlightPerSm_(cfg.numSms, 0), ledger_(cfg.numSms)
@@ -47,8 +50,7 @@ Interconnect::sendRequest(const MemRequest &req, Cycle now)
               "request from out-of-range SM %u", req.smId);
     LB_ASSERT(req.lineAddr != kNoAddr,
               "request with sentinel address from SM %u", req.smId);
-    if constexpr (checksEnabled(CheckLevel::Full))
-        ledger_.onIssue(req, now);
+    ledger_.onIssue(req, now);
     ++inFlightPerSm_[req.smId];
     requests_.push_back({now + cfg_.icntLatency, req});
 }
@@ -58,7 +60,11 @@ Interconnect::sendResponse(const MemResponse &resp, Cycle now)
 {
     LB_ASSERT(resp.smId < sinks_.size(),
               "response for out-of-range SM %u", resp.smId);
-    responses_.push_back({now + cfg_.icntLatency, resp});
+    const Cycle extra = fi_ ? fi_->icntResponseDelay(now) : 0;
+    if (fi_ && fi_->icntReorderActive(now))
+        responses_.push_front({now + cfg_.icntLatency + extra, resp});
+    else
+        responses_.push_back({now + cfg_.icntLatency + extra, resp});
 }
 
 void
@@ -80,12 +86,8 @@ Interconnect::tick(Cycle now)
             --inFlightPerSm_[entry.req.smId];
             // Writes have no response; hand-off to the partition is
             // their terminal event in the request-lifetime ledger.
-            if constexpr (checksEnabled(CheckLevel::Full)) {
-                if (!needsResponse(entry.req.kind)) {
-                    ledger_.onRetire(entry.req.smId, entry.req.kind,
-                                     now);
-                }
-            }
+            if (!needsResponse(entry.req.kind))
+                ledger_.onRetire(entry.req.smId, entry.req.kind, now);
         } else {
             requests_.push_back(entry);
         }
@@ -94,8 +96,7 @@ Interconnect::tick(Cycle now)
     while (!responses_.empty() && responses_.front().arrival <= now) {
         const MemResponse resp = responses_.front().resp;
         responses_.pop_front();
-        if constexpr (checksEnabled(CheckLevel::Full))
-            ledger_.onRetire(resp.smId, resp.kind, now);
+        ledger_.onRetire(resp.smId, resp.kind, now);
         if (ResponseSinkIf *sink = sinks_[resp.smId])
             sink->onResponse(resp, now);
     }

@@ -24,6 +24,7 @@ namespace lbsim
 
 class MemoryPartition;
 class L1Cache;
+class FaultInjector;
 
 /** Callback sink for responses delivered to an SM. */
 class ResponseSinkIf
@@ -39,7 +40,13 @@ class ResponseSinkIf
 class Interconnect
 {
   public:
-    Interconnect(const GpuConfig &cfg, SimStats *stats);
+    /**
+     * @param fi Optional fault injector consulted on the response path
+     *     (icnt-delay adds hop latency, icnt-reorder flips delivery
+     *     order); null disables injection with zero overhead.
+     */
+    Interconnect(const GpuConfig &cfg, SimStats *stats,
+                 FaultInjector *fi = nullptr);
 
     /** Register partition @p index (must be called for every partition). */
     void attachPartition(std::uint32_t index, MemoryPartition *partition);
@@ -78,7 +85,7 @@ class Interconnect
         return requests_.empty() && responses_.empty();
     }
 
-    /** Request-lifetime ledger (fed only in full-check builds). */
+    /** Request-lifetime ledger (fed at every check level). */
     RequestLedger &ledger() { return ledger_; }
     const RequestLedger &ledger() const { return ledger_; }
 
@@ -112,6 +119,7 @@ class Interconnect
 
     const GpuConfig &cfg_;
     SimStats *stats_;
+    FaultInjector *fi_;
     std::vector<MemoryPartition *> partitions_;
     std::vector<ResponseSinkIf *> sinks_;
     std::deque<InFlightRequest> requests_;

@@ -166,6 +166,9 @@ class L1Cache
     /** Tag-array geometry actually in use (after extensions). */
     const TagArray &tags() const { return tags_; }
 
+    /** MSHR file (occupancy snapshots for hang reports). */
+    const MshrFile &mshrs() const { return mshrs_; }
+
     /** Invalidate all lines (kernel boundary). */
     void flush();
 

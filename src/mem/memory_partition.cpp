@@ -5,14 +5,16 @@
 #include "common/check.hpp"
 #include "common/log.hpp"
 #include "mem/interconnect.hpp"
+#include "resilience/faultinject.hpp"
 
 namespace lbsim
 {
 
 MemoryPartition::MemoryPartition(const GpuConfig &cfg,
                                  std::uint32_t partition_id,
-                                 Interconnect *icnt, SimStats *stats)
-    : cfg_(cfg), id_(partition_id), icnt_(icnt), stats_(stats),
+                                 Interconnect *icnt, SimStats *stats,
+                                 FaultInjector *fi)
+    : cfg_(cfg), id_(partition_id), icnt_(icnt), stats_(stats), fi_(fi),
       l2_(cfg, partition_id, stats), dram_(cfg, partition_id, stats)
 {
 }
@@ -41,6 +43,10 @@ MemoryPartition::deliver(const MemRequest &req, Cycle now)
     if (!dram_.canAccept())
         return false;
 
+    // A refresh storm pushes every command's service eligibility out by
+    // the storm magnitude; the queue itself keeps accepting.
+    const Cycle storm = fi_ ? fi_->dramStormDelay(now) : 0;
+
     switch (req.kind) {
       case RequestKind::DataRead: {
         const std::uint64_t id = nextReadId_++;
@@ -55,7 +61,7 @@ MemoryPartition::deliver(const MemRequest &req, Cycle now)
           case L2Outcome::Miss:
             // The L2 lookup precedes the DRAM fetch.
             dram_.enqueue({req.lineAddr, false, req.kind, req.smId, now},
-                          now, now + cfg_.l2Latency);
+                          now, now + cfg_.l2Latency + storm);
             return true;
           case L2Outcome::Merged:
             return true;
@@ -67,15 +73,18 @@ MemoryPartition::deliver(const MemRequest &req, Cycle now)
       }
       case RequestKind::DataWrite:
         l2_.accessWrite(req.lineAddr, now);
-        dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now);
+        dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now,
+                      storm ? now + storm : 0);
         return true;
       case RequestKind::RegBackup:
-        dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now);
+        dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now,
+                      storm ? now + storm : 0);
         return true;
       case RequestKind::RegRestore: {
         const std::uint64_t id = nextReadId_++;
         (void)id;
-        dram_.enqueue({req.lineAddr, false, req.kind, req.smId, now}, now);
+        dram_.enqueue({req.lineAddr, false, req.kind, req.smId, now}, now,
+                      storm ? now + storm : 0);
         return true;
       }
     }

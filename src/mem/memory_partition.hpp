@@ -26,13 +26,20 @@ namespace lbsim
 {
 
 class Interconnect;
+class FaultInjector;
 
 /** L2 slice + DRAM channel behind one interconnect port. */
 class MemoryPartition
 {
   public:
+    /**
+     * @param fi Optional fault injector; an active dram-storm window
+     *     pushes each command's earliest service cycle out by the storm
+     *     magnitude (modelling a refresh storm). Null disables.
+     */
     MemoryPartition(const GpuConfig &cfg, std::uint32_t partition_id,
-                    Interconnect *icnt, SimStats *stats);
+                    Interconnect *icnt, SimStats *stats,
+                    FaultInjector *fi = nullptr);
 
     /**
      * Accept @p req from the interconnect.
@@ -72,6 +79,7 @@ class MemoryPartition
     std::uint32_t id_;
     Interconnect *icnt_;
     SimStats *stats_;
+    FaultInjector *fi_;
     L2Slice l2_;
     DramChannel dram_;
     std::uint64_t nextReadId_ = 1;

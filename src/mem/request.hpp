@@ -41,6 +41,23 @@ struct MemResponse
     Cycle ready = 0;
 };
 
+/** Human-readable name of a request kind (for reports and ledgers). */
+constexpr const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::DataRead:
+        return "DataRead";
+      case RequestKind::DataWrite:
+        return "DataWrite";
+      case RequestKind::RegBackup:
+        return "RegBackup";
+      case RequestKind::RegRestore:
+        return "RegRestore";
+    }
+    return "?";
+}
+
 /** Returns true for request kinds that produce a response. */
 constexpr bool
 needsResponse(RequestKind kind)

@@ -13,17 +13,7 @@ namespace
 const char *
 kindName(std::uint32_t kind_index)
 {
-    switch (static_cast<RequestKind>(kind_index)) {
-      case RequestKind::DataRead:
-        return "DataRead";
-      case RequestKind::DataWrite:
-        return "DataWrite";
-      case RequestKind::RegBackup:
-        return "RegBackup";
-      case RequestKind::RegRestore:
-        return "RegRestore";
-    }
-    return "?";
+    return requestKindName(static_cast<RequestKind>(kind_index));
 }
 
 } // namespace
@@ -35,11 +25,13 @@ RequestLedger::RequestLedger(std::uint32_t num_sms) : perSm_(num_sms)
 void
 RequestLedger::onIssue(const MemRequest &req, Cycle now)
 {
-    (void)now;
     LB_ASSERT(req.smId < perSm_.size(),
               "request from unknown SM %u (have %zu)", req.smId,
               perSm_.size());
-    ++perSm_[req.smId].issued[kindIndex(req.kind)];
+    Counters &c = perSm_[req.smId];
+    const std::uint32_t k = kindIndex(req.kind);
+    ++c.issued[k];
+    c.open[k].push_back({now, req.lineAddr});
 }
 
 void
@@ -59,6 +51,8 @@ RequestLedger::onRetire(std::uint32_t sm_id, RequestKind kind, Cycle now)
              static_cast<unsigned long long>(c.retired[k] + 1),
              static_cast<unsigned long long>(c.issued[k]));
     ++c.retired[k];
+    if (!c.open[k].empty())
+        c.open[k].pop_front();
 }
 
 std::uint64_t
@@ -81,6 +75,39 @@ RequestLedger::totalOutstanding() const
         }
     }
     return total;
+}
+
+std::uint64_t
+RequestLedger::totalRetired() const
+{
+    std::uint64_t total = 0;
+    for (const Counters &c : perSm_) {
+        for (std::uint32_t k = 0; k < kKinds; ++k)
+            total += c.retired[k];
+    }
+    return total;
+}
+
+OldestRequest
+RequestLedger::oldestOutstanding() const
+{
+    OldestRequest oldest;
+    for (std::size_t sm = 0; sm < perSm_.size(); ++sm) {
+        const Counters &c = perSm_[sm];
+        for (std::uint32_t k = 0; k < kKinds; ++k) {
+            if (c.open[k].empty())
+                continue;
+            const OpenRequest &front = c.open[k].front();
+            if (!oldest.valid || front.issued < oldest.issued) {
+                oldest.valid = true;
+                oldest.smId = static_cast<std::uint32_t>(sm);
+                oldest.kind = static_cast<RequestKind>(k);
+                oldest.lineAddr = front.lineAddr;
+                oldest.issued = front.issued;
+            }
+        }
+    }
+    return oldest;
 }
 
 void

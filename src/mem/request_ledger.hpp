@@ -10,14 +10,17 @@
  * moment it happens, and on under-retirement (a lost request or
  * response) when the drained state is audited at end of run.
  *
- * The Interconnect feeds the ledger only in LBSIM_CHECKS=full builds;
- * the class itself is always functional so unit tests can exercise it at
- * any level.
+ * The Interconnect feeds the ledger at every check level: besides the
+ * exactly-once counters it keeps a per-(SM, kind) FIFO of open requests
+ * so the forward-progress watchdog can name the oldest in-flight request
+ * in a hang report, and so the Gpu run loop can count retirements as a
+ * progress signal.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -26,6 +29,16 @@
 
 namespace lbsim
 {
+
+/** The oldest request still outstanding, for hang diagnosis. */
+struct OldestRequest
+{
+    bool valid = false;
+    std::uint32_t smId = 0;
+    RequestKind kind = RequestKind::DataRead;
+    Addr lineAddr = kNoAddr;
+    Cycle issued = 0;
+};
 
 /** Exactly-once retirement tracker for downstream memory requests. */
 class RequestLedger
@@ -49,6 +62,17 @@ class RequestLedger
     /** Total outstanding across all SMs and kinds. */
     std::uint64_t totalOutstanding() const;
 
+    /** Total retired across all SMs and kinds (a progress signal). */
+    std::uint64_t totalRetired() const;
+
+    /**
+     * The request with the earliest issue cycle still outstanding, or
+     * an invalid record when nothing is in flight. Requests of one
+     * (SM, kind) retire in issue order, so the FIFO front of each
+     * stream is its oldest member.
+     */
+    OldestRequest oldestOutstanding() const;
+
     /** Per-cycle consistency: counters monotone and non-crossing. */
     void audit(Cycle now) const;
 
@@ -70,10 +94,17 @@ class RequestLedger
         return static_cast<std::uint32_t>(kind);
     }
 
+    struct OpenRequest
+    {
+        Cycle issued = 0;
+        Addr lineAddr = kNoAddr;
+    };
+
     struct Counters
     {
         std::uint64_t issued[kKinds] = {};
         std::uint64_t retired[kKinds] = {};
+        std::deque<OpenRequest> open[kKinds];
     };
 
     std::vector<Counters> perSm_;

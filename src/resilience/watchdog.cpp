@@ -1,0 +1,173 @@
+#include "resilience/watchdog.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace lbsim
+{
+
+Watchdog::Watchdog(Cycle threshold, std::uint32_t num_sms)
+    : threshold_(threshold), lastPerSm_(num_sms, 0),
+      lastPerSmCycle_(num_sms, 0)
+{
+}
+
+void
+Watchdog::observe(Cycle now, std::uint64_t global_progress,
+                  const std::vector<std::uint64_t> &per_sm_progress)
+{
+    if (tripped_ || threshold_ == 0)
+        return;
+
+    if (!primed_) {
+        // The first observation sets the baseline; a run that starts
+        // mid-simulation (warm-up already elapsed) must not inherit a
+        // stale cycle-0 reference.
+        primed_ = true;
+        lastGlobal_ = global_progress;
+        lastGlobalCycle_ = now;
+        for (std::size_t sm = 0;
+             sm < lastPerSm_.size() && sm < per_sm_progress.size();
+             ++sm) {
+            lastPerSm_[sm] = per_sm_progress[sm];
+            lastPerSmCycle_[sm] = now;
+        }
+        return;
+    }
+
+    for (std::size_t sm = 0;
+         sm < lastPerSm_.size() && sm < per_sm_progress.size(); ++sm) {
+        if (per_sm_progress[sm] != lastPerSm_[sm]) {
+            lastPerSm_[sm] = per_sm_progress[sm];
+            lastPerSmCycle_[sm] = now;
+        }
+    }
+
+    if (global_progress != lastGlobal_) {
+        lastGlobal_ = global_progress;
+        lastGlobalCycle_ = now;
+        return;
+    }
+    if (now - lastGlobalCycle_ >= threshold_)
+        tripped_ = true;
+}
+
+std::string
+HangReport::text() const
+{
+    std::ostringstream out;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "WATCHDOG: no forward progress for %llu cycles "
+                  "(tripped at cycle %llu, last progress at %llu)\n",
+                  static_cast<unsigned long long>(threshold),
+                  static_cast<unsigned long long>(cycle),
+                  static_cast<unsigned long long>(lastProgress));
+    out << buf;
+
+    if (oldest.valid) {
+        std::snprintf(buf, sizeof(buf),
+                      "oldest in-flight request: %s line=0x%llx sm=%u "
+                      "issued at cycle %llu (stuck for %llu cycles)\n",
+                      oldest.kind.c_str(),
+                      static_cast<unsigned long long>(oldest.lineAddr),
+                      oldest.smId,
+                      static_cast<unsigned long long>(oldest.issued),
+                      static_cast<unsigned long long>(
+                          cycle >= oldest.issued ? cycle - oldest.issued
+                                                 : 0));
+        out << buf;
+    } else {
+        out << "oldest in-flight request: none (no memory request "
+               "outstanding)\n";
+    }
+
+    for (const HangReportSm &sm : sms) {
+        std::snprintf(buf, sizeof(buf),
+                      "sm %u: issued=%llu lastProgress=%llu %s "
+                      "mshr=%u/%u\n",
+                      sm.id,
+                      static_cast<unsigned long long>(
+                          sm.instructionsIssued),
+                      static_cast<unsigned long long>(sm.lastProgress),
+                      sm.idle ? "idle" : "busy", sm.mshrInUse,
+                      sm.mshrCapacity);
+        out << buf;
+        if (!sm.detail.empty())
+            out << sm.detail;
+        if (!sm.controller.empty())
+            out << sm.controller;
+    }
+
+    for (const auto &[name, dump] : subsystems) {
+        out << "--- " << name << " ---\n";
+        out << dump;
+    }
+    if (!faultSummary.empty()) {
+        out << "--- fault injection ---\n";
+        out << faultSummary;
+    }
+    return out.str();
+}
+
+std::string
+HangReport::json() const
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("event", "watchdog-trip");
+    json.field("cycle", static_cast<std::uint64_t>(cycle));
+    json.field("thresholdCycles", static_cast<std::uint64_t>(threshold));
+    json.field("lastProgressCycle",
+               static_cast<std::uint64_t>(lastProgress));
+    if (oldest.valid) {
+        json.beginObjectField("oldestRequest");
+        json.field("kind", oldest.kind);
+        json.field("smId", oldest.smId);
+        char addr[32];
+        std::snprintf(addr, sizeof(addr), "0x%llx",
+                      static_cast<unsigned long long>(oldest.lineAddr));
+        json.field("lineAddr", addr);
+        json.field("issuedCycle",
+                   static_cast<std::uint64_t>(oldest.issued));
+        json.field("stuckCycles",
+                   static_cast<std::uint64_t>(
+                       cycle >= oldest.issued ? cycle - oldest.issued
+                                              : 0));
+        json.endObject();
+    }
+    json.beginArrayField("sms");
+    for (const HangReportSm &sm : sms) {
+        json.beginObject();
+        json.field("id", sm.id);
+        json.field("instructionsIssued", sm.instructionsIssued);
+        json.field("lastProgressCycle",
+                   static_cast<std::uint64_t>(sm.lastProgress));
+        json.field("idle", sm.idle);
+        json.field("mshrInUse", sm.mshrInUse);
+        json.field("mshrCapacity", sm.mshrCapacity);
+        if (!sm.detail.empty())
+            json.field("detail", sm.detail);
+        if (!sm.controller.empty())
+            json.field("controller", sm.controller);
+        json.endObject();
+    }
+    json.endArray();
+    json.beginArrayField("subsystems");
+    for (const auto &[name, dump] : subsystems) {
+        json.beginObject();
+        json.field("name", name);
+        json.field("state", dump);
+        json.endObject();
+    }
+    json.endArray();
+    if (!faultSummary.empty())
+        json.field("faultSummary", faultSummary);
+    json.endObject();
+    return out.str();
+}
+
+} // namespace lbsim

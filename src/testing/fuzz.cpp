@@ -313,6 +313,46 @@ generateFuzzCase(std::uint64_t seed)
     return fuzz_case;
 }
 
+FuzzCase
+generateFaultFuzzCase(std::uint64_t seed)
+{
+    FuzzCase fuzz_case = generateFuzzCase(seed);
+    // Separate stream so the fault schedule perturbs nothing about the
+    // underlying scenario: fault seed N is scenario seed N plus faults.
+    Rng rng(hashCombine(0xfa017ull, seed));
+
+    // Guard every fault run: trips well inside the cycle budget, but
+    // above the worst-case legitimate stall the generated magnitudes can
+    // cause (three overlapping icnt-delay windows sum to < 7.5k cycles).
+    fuzz_case.gpu.watchdogCycles = 12000;
+
+    const std::uint64_t num_events = range(rng, 1, 3);
+    for (std::uint64_t i = 0; i < num_events; ++i) {
+        FaultEvent event;
+        event.kind =
+            static_cast<FaultKind>(rng.below(kFaultKindCount));
+        event.start = range(rng, 0, fuzz_case.gpu.maxCycles * 3 / 4);
+        event.duration =
+            range(rng, 500, fuzz_case.gpu.maxCycles / 2);
+        switch (event.kind) {
+          case FaultKind::IcntDelay:
+            event.magnitude = range(rng, 200, 2500);
+            break;
+          case FaultKind::DramStorm:
+            event.magnitude = range(rng, 100, 1500);
+            break;
+          case FaultKind::IcntReorder:
+          case FaultKind::BackupStall:
+          case FaultKind::VttRevoke:
+          case FaultKind::LoadMonitorLie:
+            event.magnitude = 0;
+            break;
+        }
+        fuzz_case.faults.events.push_back(event);
+    }
+    return fuzz_case;
+}
+
 // --- Property checks -------------------------------------------------------
 
 FuzzCaseResult
@@ -320,7 +360,9 @@ runFuzzCase(const FuzzCase &fuzz_case)
 {
     FuzzCaseResult result;
     FailureCapture failures;
-    const RunnerOptions options = fuzzRunnerOptions();
+    const bool fault_mode = !fuzz_case.faults.empty();
+    RunnerOptions options = fuzzRunnerOptions();
+    options.faultPlan = fuzz_case.faults;
     const SchemeConfig scheme = fuzzScheme(fuzz_case.scheme);
 
     const auto fail = [&result](const char *property,
@@ -332,7 +374,9 @@ runFuzzCase(const FuzzCase &fuzz_case)
         result.detail = std::move(detail);
     };
 
-    // Property 1: the lockstep reference model agrees on every access.
+    // Property 1: the lockstep reference model agrees on every access
+    // (faults are legal delays/reorders, so this must hold under
+    // injection too).
     SimRunner runner(fuzz_case.gpu, fuzz_case.lb, options);
     const RunMetrics first = runner.run(fuzz_case.app, scheme);
     ++result.runsExecuted;
@@ -342,7 +386,16 @@ runFuzzCase(const FuzzCase &fuzz_case)
     if (result.ok && first.lockstepChecks == 0)
         fail("coverage", "run performed no lockstep checks");
 
-    // Property 2: same case again is bit-identical (determinism).
+    // Fault-mode property: graceful degradation, not deadlock. The
+    // generated magnitudes stall progress for less than the watchdog
+    // threshold, so a trip means the fault wedged the simulator.
+    if (result.ok && fault_mode && first.outcome == RunOutcome::Hang)
+        fail("no-deadlock",
+             "watchdog tripped under fault injection:\n" +
+                 first.hangReport);
+
+    // Property 2: same case again is bit-identical (determinism; fault
+    // schedules are part of the case, so faulted runs replay exactly).
     if (result.ok) {
         SimRunner again(fuzz_case.gpu, fuzz_case.lb, options);
         const RunMetrics second = again.run(fuzz_case.app, scheme);
@@ -352,13 +405,22 @@ runFuzzCase(const FuzzCase &fuzz_case)
         if (!diff.empty())
             fail("determinism", "stats differ between identical runs: " +
                                     diff);
+        if (result.ok && (second.outcome != first.outcome ||
+                          second.faultsInjected != first.faultsInjected)) {
+            fail("determinism",
+                 std::string("outcome differs between identical runs: ") +
+                     runOutcomeName(first.outcome) + "/" +
+                     std::to_string(first.faultsInjected) + " vs " +
+                     runOutcomeName(second.outcome) + "/" +
+                     std::to_string(second.faultsInjected));
+        }
     }
 
     // Property 3: a victim scheme with zero victim capacity must be
     // architecturally indistinguishable from the baseline. Only sound
     // for schemes whose *only* mechanism is victim caching (no warp
     // throttling, register backup, or cache restructuring).
-    if (result.ok && scheme.victim != VictimMode::Off &&
+    if (result.ok && !fault_mode && scheme.victim != VictimMode::Off &&
         scheme.throttle == ThrottleMode::None &&
         !scheme.backupRegisters && !scheme.cerfUnified &&
         !scheme.cacheExt) {
@@ -388,7 +450,7 @@ runFuzzCase(const FuzzCase &fuzz_case)
     // Property 4: doubling the L1 must not materially lower its hit
     // ratio. Baseline only: adaptive schemes may legitimately respond to
     // the larger cache with different throttling decisions.
-    if (result.ok && fuzz_case.scheme == "baseline") {
+    if (result.ok && !fault_mode && fuzz_case.scheme == "baseline") {
         GpuConfig bigger = fuzz_case.gpu;
         bigger.l1.sizeBytes *= 2;
         SimRunner big_runner(bigger, fuzz_case.lb, options);
@@ -415,7 +477,10 @@ runFuzzCase(const FuzzCase &fuzz_case)
 
 namespace
 {
-constexpr const char *kFuzzCaseMagic = "lbsim-fuzzcase-v1";
+// v2 added gpu.watchdogCycles and fault= lines; v1 files (no faults, no
+// watchdog) still parse so checked-in repro cases keep replaying.
+constexpr const char *kFuzzCaseMagic = "lbsim-fuzzcase-v2";
+constexpr const char *kFuzzCaseMagicV1 = "lbsim-fuzzcase-v1";
 }
 
 std::string
@@ -441,6 +506,7 @@ serializeFuzzCase(const FuzzCase &fuzz_case)
         << '\n';
     out << "gpu.maxCycles=" << gpu.maxCycles << '\n';
     out << "gpu.warmupCycles=" << gpu.warmupCycles << '\n';
+    out << "gpu.watchdogCycles=" << gpu.watchdogCycles << '\n';
 
     const LbConfig &lb = fuzz_case.lb;
     out << "lb.monitorPeriod=" << lb.monitorPeriod << '\n';
@@ -472,6 +538,8 @@ serializeFuzzCase(const FuzzCase &fuzz_case)
             << formatDouble(load.hotProbability) << ',' << load.everyN
             << '\n';
     }
+    for (const FaultEvent &event : fuzz_case.faults.events)
+        out << "fault=" << serializeFaultEvent(event) << '\n';
     return out.str();
 }
 
@@ -481,7 +549,8 @@ parseFuzzCase(const std::string &text, FuzzCase &out,
 {
     std::istringstream in(text);
     std::string line;
-    if (!std::getline(in, line) || line != kFuzzCaseMagic) {
+    if (!std::getline(in, line) ||
+        (line != kFuzzCaseMagic && line != kFuzzCaseMagicV1)) {
         error_out = "missing fuzzcase header";
         return false;
     }
@@ -553,6 +622,8 @@ parseFuzzCase(const std::string &text, FuzzCase &out,
             ok = parseU64(value, parsed.gpu.maxCycles);
         } else if (key == "gpu.warmupCycles") {
             ok = parseU64(value, parsed.gpu.warmupCycles);
+        } else if (key == "gpu.watchdogCycles") {
+            ok = parseU64(value, parsed.gpu.watchdogCycles);
         } else if (key == "lb.monitorPeriod") {
             ok = parseU64(value, parsed.lb.monitorPeriod);
         } else if (key == "lb.hitRatioThreshold") {
@@ -610,6 +681,11 @@ parseFuzzCase(const std::string &text, FuzzCase &out,
             load.scope = static_cast<TileScope>(scope_raw);
             if (ok)
                 parsed.app.loads.push_back(load);
+        } else if (key == "fault") {
+            FaultEvent event;
+            ok = parseFaultEvent(value, event);
+            if (ok)
+                parsed.faults.events.push_back(event);
         } else {
             error_out = "line " + std::to_string(line_no) +
                         ": unknown key '" + key + "'";

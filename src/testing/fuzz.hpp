@@ -17,9 +17,19 @@
  *  - L1 monotonicity: doubling the L1 does not materially lower the
  *    hit ratio (small tolerance for timing feedback).
  *
+ * Fault mode (generateFaultFuzzCase / tools/lbsim_fuzz --faults) draws a
+ * random FaultPlan on top of the random scenario and asserts graceful
+ * degradation instead: the run must not wedge (a forward-progress
+ * watchdog guards every fault run), auditors and lockstep must stay
+ * clean, and the faulted run must still be deterministic. The
+ * baseline-equivalence properties are skipped — faults legitimately
+ * perturb architectural behaviour.
+ *
  * Cases serialize to a line-oriented text form so a failing case — in
  * particular one shrunk by testing/minimize.hpp — can be checked in and
- * replayed exactly (tools/lbsim_fuzz --replay).
+ * replayed exactly (tools/lbsim_fuzz --replay). The current format is
+ * lbsim-fuzzcase-v2 (adds gpu.watchdogCycles and fault= lines); v1
+ * files parse unchanged.
  */
 
 #pragma once
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "resilience/faultinject.hpp"
 #include "workload/app_profile.hpp"
 
 namespace lbsim
@@ -44,6 +55,8 @@ struct FuzzCase
     AppProfile app;
     /** Scheme key; see fuzzSchemeNames() / fuzzScheme(). */
     std::string scheme = "baseline";
+    /** Fault schedule; non-empty switches the property set (see above). */
+    FaultPlan faults;
 };
 
 /** Outcome of running one case's property checks. */
@@ -70,6 +83,14 @@ SchemeConfig fuzzScheme(const std::string &name);
 
 /** Deterministically derive a valid case from @p seed. */
 FuzzCase generateFuzzCase(std::uint64_t seed);
+
+/**
+ * Deterministically derive a fault-injection case from @p seed: the
+ * same scenario generateFuzzCase(seed) yields, plus a random 1-3 event
+ * FaultPlan and a watchdog so a wedged run terminates with a diagnosis
+ * instead of eating the fuzzing budget.
+ */
+FuzzCase generateFaultFuzzCase(std::uint64_t seed);
 
 /** Run every property check for @p fuzz_case. */
 FuzzCaseResult runFuzzCase(const FuzzCase &fuzz_case);

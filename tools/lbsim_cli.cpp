@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -53,7 +55,11 @@ usage()
         "  --threads <n>        worker threads for --app all\n"
         "  --no-cache           bypass the on-disk memo cache\n"
         "  --csv                machine-readable one-line-per-run output\n"
-        "  --json [path]        write an experiment JSON artifact");
+        "  --json [path]        write an experiment JSON artifact\n"
+        "  --timeout-cycles <n> forward-progress watchdog threshold;\n"
+        "                       a tripped run exits 3 with a hang report\n"
+        "  --fault-plan <file>  inject the fault schedule in <file>\n"
+        "  --hang-report <path> write the JSON hang report on a trip");
 }
 
 const char *
@@ -146,6 +152,8 @@ main(int argc, char **argv)
     cfg.warmupCycles = 200000;
     if (const char *v = arg(argc, argv, "--warmup"))
         cfg.warmupCycles = std::strtoull(v, nullptr, 10);
+    if (const char *v = arg(argc, argv, "--timeout-cycles"))
+        cfg.watchdogCycles = std::strtoull(v, nullptr, 10);
 
     RunnerOptions options;
     options.simSms = 2;
@@ -156,6 +164,22 @@ main(int argc, char **argv)
     if (const char *v = arg(argc, argv, "--cycles"))
         options.maxCycles = std::strtoull(v, nullptr, 10);
     options.useMemoCache = !flag(argc, argv, "--no-cache");
+
+    if (const char *v = arg(argc, argv, "--fault-plan")) {
+        std::ifstream in(v);
+        if (!in) {
+            std::fprintf(stderr, "cannot open fault plan '%s'\n", v);
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        std::string error;
+        if (!parseFaultPlan(text.str(), options.faultPlan, error)) {
+            std::fprintf(stderr, "bad fault plan '%s': %s\n", v,
+                         error.c_str());
+            return 1;
+        }
+    }
 
     std::vector<AppProfile> apps;
     if (std::strcmp(app_id, "all") == 0)
@@ -260,6 +284,28 @@ main(int argc, char **argv)
         }
     }
 
+    // A watchdog trip overrides normal failure reporting: dump the
+    // structured diagnosis and exit with a distinct code so scripts can
+    // tell "hung" from "failed".
+    const CellResult *first_hang = nullptr;
+    for (const CellResult &result : results) {
+        if (result.outcome != RunOutcome::Hang)
+            continue;
+        if (!first_hang)
+            first_hang = &result;
+        std::fprintf(stderr, "%s/%s hung:\n%s", result.app.c_str(),
+                     result.scheme.c_str(), result.hangReport.c_str());
+    }
+    if (first_hang) {
+        if (const char *path = arg(argc, argv, "--hang-report")) {
+            std::ofstream out(path);
+            if (out)
+                out << first_hang->metrics.hangReportJson << '\n';
+            else
+                std::fprintf(stderr, "cannot write %s\n", path);
+        }
+    }
+
     if (flag(argc, argv, "--json")) {
         std::string path = "LBSIM_CLI.json";
         if (const char *v = arg(argc, argv, "--json")) {
@@ -268,5 +314,7 @@ main(int argc, char **argv)
         }
         writeExperimentJson(path, "lbsim_cli", false, results);
     }
+    if (first_hang)
+        return 3;
     return failed ? 1 : 0;
 }

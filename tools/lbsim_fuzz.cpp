@@ -14,8 +14,13 @@
  * case file without running it — a starting point for hand-edited
  * repros and for exercising --replay.
  *
+ * Fault mode (--faults): cases additionally carry a random FaultPlan
+ * and a forward-progress watchdog; the property set asserts graceful
+ * degradation (no deadlock, auditors clean, deterministic replay).
+ *
  * Usage:
  *   lbsim_fuzz [--iters N] [--seed-base S] [--out DIR] [--no-fork]
+ *              [--faults]
  *   lbsim_fuzz --replay FILE
  *   lbsim_fuzz --dump SEED FILE
  */
@@ -28,17 +33,13 @@
 #include <sstream>
 #include <string>
 
+#include "resilience/isolation.hpp"
 #include "testing/fuzz.hpp"
 #include "testing/minimize.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
-#define LBSIM_FUZZ_HAS_FORK 1
 #include <sys/stat.h>
 #include <sys/types.h>
-#include <sys/wait.h>
-#include <unistd.h>
-#else
-#define LBSIM_FUZZ_HAS_FORK 0
 #endif
 
 namespace
@@ -46,9 +47,7 @@ namespace
 
 using lbsim::FuzzCase;
 using lbsim::FuzzCaseResult;
-
-/** Exit code a child uses to signal a property violation (not a crash). */
-constexpr int kPropertyExit = 10;
+using lbsim::IsolationStatus;
 
 /** Wall-clock guard per forked case; a hang is a failure too. */
 constexpr unsigned kChildTimeoutSec = 120;
@@ -59,7 +58,9 @@ struct ToolOptions
     std::uint64_t seedBase = 1;
     std::string outDir = "fuzz-out";
     std::string replayFile;
-    bool useFork = LBSIM_FUZZ_HAS_FORK != 0;
+    bool useFork = true;
+    /** Generate fault-injection cases (generateFaultFuzzCase). */
+    bool faults = false;
 };
 
 /** Verdict of one (possibly isolated) case execution. */
@@ -83,94 +84,66 @@ fromResult(const FuzzCaseResult &result)
     return verdict;
 }
 
-#if LBSIM_FUZZ_HAS_FORK
-
 /** Run the case in a forked child; survives crashes and hangs. */
 CaseVerdict
 runIsolated(const FuzzCase &fuzz_case)
 {
-    int fds[2];
-    if (pipe(fds) != 0) {
-        std::perror("pipe");
-        std::exit(2);
-    }
-    const pid_t pid = fork();
-    if (pid < 0) {
-        std::perror("fork");
-        std::exit(2);
-    }
-    if (pid == 0) {
-        close(fds[0]);
-        alarm(kChildTimeoutSec);
-        const FuzzCaseResult result = lbsim::runFuzzCase(fuzz_case);
-        std::string payload = result.property;
-        payload += '\n';
-        payload += result.detail;
-        payload += '\n';
-        payload += std::to_string(result.lockstepChecks);
-        const char *data = payload.c_str();
-        std::size_t remaining = payload.size();
-        while (remaining > 0) {
-            const ssize_t written = write(fds[1], data, remaining);
-            if (written <= 0)
-                break;
-            data += written;
-            remaining -= static_cast<std::size_t>(written);
-        }
-        close(fds[1]);
-        _exit(result.ok ? 0 : kPropertyExit);
-    }
-
-    close(fds[1]);
-    std::string payload;
-    char buf[4096];
-    ssize_t got;
-    while ((got = read(fds[0], buf, sizeof(buf))) > 0)
-        payload.append(buf, static_cast<std::size_t>(got));
-    close(fds[0]);
-    int status = 0;
-    waitpid(pid, &status, 0);
+    // Payload order puts the (possibly multi-line) detail last so hang
+    // reports survive the line-oriented framing.
+    const lbsim::IsolationResult iso = lbsim::runIsolatedTask(
+        [&fuzz_case]() -> std::pair<bool, std::string> {
+            const FuzzCaseResult result = lbsim::runFuzzCase(fuzz_case);
+            std::string payload = result.property;
+            payload += '\n';
+            payload += std::to_string(result.lockstepChecks);
+            payload += '\n';
+            payload += result.detail;
+            return {result.ok, payload};
+        },
+        kChildTimeoutSec);
 
     CaseVerdict verdict;
-    std::istringstream in(payload);
-    std::getline(in, verdict.property);
-    std::getline(in, verdict.detail);
-    std::string checks;
-    std::getline(in, checks);
-    if (!checks.empty())
-        verdict.lockstepChecks = std::strtoull(checks.c_str(), nullptr, 10);
-
-    if (WIFEXITED(status) && WEXITSTATUS(status) == 0)
+    switch (iso.status) {
+      case IsolationStatus::Ok:
+      case IsolationStatus::TaskFailed: {
+        std::istringstream in(iso.payload);
+        std::getline(in, verdict.property);
+        std::string checks;
+        std::getline(in, checks);
+        if (!checks.empty()) {
+            verdict.lockstepChecks =
+                std::strtoull(checks.c_str(), nullptr, 10);
+        }
+        std::ostringstream rest;
+        rest << in.rdbuf();
+        verdict.detail = rest.str();
+        verdict.ok = iso.status == IsolationStatus::Ok;
         return verdict;
-    verdict.ok = false;
-    if (WIFEXITED(status) && WEXITSTATUS(status) == kPropertyExit)
+      }
+      case IsolationStatus::Timeout:
+        verdict.ok = false;
+        verdict.crashed = true;
+        verdict.property = "crash";
+        verdict.detail = "child timed out after " +
+                         std::to_string(kChildTimeoutSec) + "s";
         return verdict;
-    verdict.crashed = true;
-    verdict.property = "crash";
-    if (WIFSIGNALED(status)) {
-        verdict.detail = "child killed by signal " +
-                         std::to_string(WTERMSIG(status)) +
-                         (WTERMSIG(status) == SIGALRM ? " (timeout)" : "");
-    } else {
-        verdict.detail = "child exited with status " +
-                         std::to_string(WIFEXITED(status)
-                                            ? WEXITSTATUS(status)
-                                            : -1);
+      case IsolationStatus::Crashed:
+        verdict.ok = false;
+        verdict.crashed = true;
+        verdict.property = "crash";
+        verdict.detail = iso.payload;
+        return verdict;
+      case IsolationStatus::Unsupported:
+        break;
     }
-    return verdict;
+    return fromResult(lbsim::runFuzzCase(fuzz_case));
 }
-
-#endif // LBSIM_FUZZ_HAS_FORK
 
 CaseVerdict
 runCase(const FuzzCase &fuzz_case, const ToolOptions &options)
 {
-#if LBSIM_FUZZ_HAS_FORK
-    if (options.useFork)
+    if (options.useFork && lbsim::isolationSupported())
         return runIsolated(fuzz_case);
-#else
-    (void)options;
-#endif
     return fromResult(lbsim::runFuzzCase(fuzz_case));
 }
 
@@ -221,7 +194,7 @@ replay(const std::string &path)
 int
 fuzz(const ToolOptions &options)
 {
-#if LBSIM_FUZZ_HAS_FORK
+#if defined(__unix__) || defined(__APPLE__)
     mkdir(options.outDir.c_str(), 0755);
 #endif
 
@@ -229,7 +202,9 @@ fuzz(const ToolOptions &options)
     std::uint64_t total_checks = 0;
     for (std::uint64_t i = 0; i < options.iters; ++i) {
         const std::uint64_t seed = options.seedBase + i;
-        const FuzzCase fuzz_case = lbsim::generateFuzzCase(seed);
+        const FuzzCase fuzz_case =
+            options.faults ? lbsim::generateFaultFuzzCase(seed)
+                           : lbsim::generateFuzzCase(seed);
 
         // Serialization must round-trip exactly, or repro files would
         // not replay the campaign's cases.
@@ -303,9 +278,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--iters N] [--seed-base S] [--out DIR] "
-                 "[--no-fork]\n"
+                 "[--no-fork] [--faults]\n"
                  "       %s --replay FILE\n"
-                 "       %s --dump SEED FILE\n",
+                 "       %s [--faults] --dump SEED FILE\n",
                  argv0, argv0, argv0);
 }
 
@@ -336,8 +311,10 @@ main(int argc, char **argv)
             const std::uint64_t seed =
                 std::strtoull(nextValue(), nullptr, 10);
             const std::string path = nextValue();
-            if (!writeFile(path, lbsim::serializeFuzzCase(
-                                     lbsim::generateFuzzCase(seed)))) {
+            const FuzzCase dumped =
+                options.faults ? lbsim::generateFaultFuzzCase(seed)
+                               : lbsim::generateFuzzCase(seed);
+            if (!writeFile(path, lbsim::serializeFuzzCase(dumped))) {
                 std::fprintf(stderr, "lbsim_fuzz: cannot write %s\n",
                              path.c_str());
                 return 2;
@@ -348,6 +325,8 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--no-fork") {
             options.useFork = false;
+        } else if (arg == "--faults") {
+            options.faults = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
