@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <string>
+
+#include "common/thread_safety.hpp"
 
 namespace lbsim
 {
@@ -21,6 +25,24 @@ bool
 logVerbose()
 {
     return g_verbose;
+}
+
+bool
+envFlag(const char *name)
+{
+    // One cached slot per distinct name; flag names are compile-time
+    // literals, so a tiny linear registry suffices and stays allocation-
+    // free after the first few lookups.
+    static Mutex registry_mutex;
+    static std::map<std::string, bool> registry;
+    MutexLock lock(registry_mutex);
+    const auto it = registry.find(name);
+    if (it != registry.end())
+        return it->second;
+    const char *value = std::getenv(name);
+    const bool set = value != nullptr && value[0] != '\0';
+    registry.emplace(name, set);
+    return set;
 }
 
 void

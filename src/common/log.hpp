@@ -36,6 +36,15 @@ void logMessage(LogLevel level, const char *fmt, ...);
 /** Report a user/configuration error and exit(1). */
 [[noreturn]] void fatal(const char *fmt, ...);
 
+/**
+ * True when environment variable @p name is set and non-empty. The
+ * environment is read once per name and cached: the answer cannot
+ * change mid-run, and model code must not call getenv() directly
+ * (lbsim-nondeterminism lint) — a mid-run environment mutation would
+ * make replay diverge from the recorded run.
+ */
+bool envFlag(const char *name);
+
 /** Convenience wrappers. */
 #define LBSIM_INFORM(...) \
     ::lbsim::logMessage(::lbsim::LogLevel::Inform, __VA_ARGS__)

@@ -301,7 +301,10 @@ ExperimentEngine::run(const ExperimentPlan &plan) const
 
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> completed{0};
-    std::mutex report_mutex;
+    // Serializes onCellDone callbacks and progress lines across the
+    // worker pool; results[] itself needs no lock (each worker owns
+    // disjoint plan indices via the atomic cursor).
+    Mutex report_mutex;
 
     auto work = [&]() {
         for (;;) {
@@ -320,7 +323,7 @@ ExperimentEngine::run(const ExperimentPlan &plan) const
                 executeCellInProcess(cell, result);
 
             const std::size_t done = completed.fetch_add(1) + 1;
-            std::lock_guard<std::mutex> lock(report_mutex);
+            MutexLock lock(report_mutex);
             if (options_.onCellDone)
                 options_.onCellDone(result, done, total);
             if (options_.printProgress) {

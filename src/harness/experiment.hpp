@@ -32,13 +32,13 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/thread_safety.hpp"
 #include "harness/sim_runner.hpp"
 #include "workload/app_profile.hpp"
 

@@ -48,10 +48,10 @@ MemoCache::defaultPath()
 MemoCache &
 MemoCache::shared()
 {
-    static std::mutex registry_mutex;
+    static Mutex registry_mutex;
     static std::map<std::string, std::unique_ptr<MemoCache>> registry;
     const std::string path = defaultPath();
-    std::lock_guard<std::mutex> lock(registry_mutex);
+    MutexLock lock(registry_mutex);
     auto it = registry.find(path);
     if (it == registry.end()) {
         it = registry
@@ -66,6 +66,9 @@ MemoCache::load()
 {
     if (!enabled_)
         return;
+    // Called from the constructor only, but the guarded members it
+    // fills demand the capability regardless of call site.
+    MutexLock lock(mutex_);
     std::ifstream in(path_);
     if (!in)
         return;
@@ -90,7 +93,7 @@ MemoCache::lookup(const std::string &key) const
 {
     if (!enabled_)
         return std::nullopt;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = entries_.find(key);
     if (it == entries_.end())
         return std::nullopt;
@@ -117,7 +120,7 @@ MemoCache::store(const std::string &key, const std::string &value)
 {
     if (!enabled_)
         return;
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries_[key] = value;
     append(key, value);
 }
@@ -141,7 +144,7 @@ MemoCache::getOrComputeIf(const std::string &key,
     std::shared_future<std::string> waiter;
     std::promise<std::string> promise;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto hit = entries_.find(key);
         if (hit != entries_.end())
             return hit->second;
@@ -158,7 +161,7 @@ MemoCache::getOrComputeIf(const std::string &key,
     try {
         ComputeResult result = compute();
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (result.persist) {
                 entries_[key] = result.value;
                 append(key, result.value);
@@ -169,7 +172,7 @@ MemoCache::getOrComputeIf(const std::string &key,
         return result.value;
     } catch (...) {
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             inflight_.erase(key);
         }
         promise.set_exception(std::current_exception());

@@ -25,10 +25,11 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "common/thread_safety.hpp"
 
 namespace lbsim
 {
@@ -95,17 +96,19 @@ class MemoCache
 
   private:
     void load();
-    void append(const std::string &key, const std::string &value);
+    void append(const std::string &key, const std::string &value)
+        LB_REQUIRES(mutex_);
 
     std::string path_;
     bool enabled_;
-    /** File needs rewriting before the first append (bad/old schema). */
-    bool rewriteOnStore_ = false;
 
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::string> entries_;
+    mutable Mutex mutex_;
+    /** File needs rewriting before the first append (bad/old schema). */
+    bool rewriteOnStore_ LB_GUARDED_BY(mutex_) = false;
+    std::unordered_map<std::string, std::string> entries_
+        LB_GUARDED_BY(mutex_);
     std::unordered_map<std::string, std::shared_future<std::string>>
-        inflight_;
+        inflight_ LB_GUARDED_BY(mutex_);
 };
 
 /** FNV-1a of @p data, for building cache keys. */

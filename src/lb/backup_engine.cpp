@@ -1,6 +1,9 @@
 #include "lb/backup_engine.hpp"
 
 #include <cstdio>
+#include <map>
+
+#include "common/det.hpp"
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -19,10 +22,13 @@ BackupEngine::BackupEngine(const GpuConfig &gpu, const LbConfig &lb,
 bool
 BackupEngine::busy() const
 {
+    SeqGuard guard(domain_);
     if (!pendingLines_.empty() || !buffer_.empty() ||
         !pendingRestores_.empty()) {
         return true;
     }
+    // Order-insensitive any-of; no state, stats, or output derive from
+    // the walk, so unordered iteration is deterministic here.
     for (const auto &[cta, job] : jobs_) {
         if (!job.done())
             return true;
@@ -35,6 +41,7 @@ BackupEngine::startBackup(std::uint32_t cta_hw_id, RegNum first_reg,
                           std::uint32_t num_regs, Addr backup_addr,
                           Cycle now)
 {
+    SeqGuard guard(domain_);
     (void)now;
     Job job;
     job.linesTotal = num_regs;
@@ -53,6 +60,7 @@ BackupEngine::startRestore(std::uint32_t cta_hw_id, RegNum first_reg,
                            std::uint32_t num_regs, Addr backup_addr,
                            Cycle now)
 {
+    SeqGuard guard(domain_);
     (void)now;
     Job job;
     job.linesTotal = num_regs;
@@ -69,6 +77,7 @@ BackupEngine::startRestore(std::uint32_t cta_hw_id, RegNum first_reg,
 bool
 BackupEngine::backupComplete(std::uint32_t cta_hw_id) const
 {
+    SeqGuard guard(domain_);
     const auto it = jobs_.find(cta_hw_id);
     return it != jobs_.end() && it->second.isBackup && it->second.done();
 }
@@ -76,6 +85,7 @@ BackupEngine::backupComplete(std::uint32_t cta_hw_id) const
 bool
 BackupEngine::restoreComplete(std::uint32_t cta_hw_id) const
 {
+    SeqGuard guard(domain_);
     const auto it = jobs_.find(cta_hw_id);
     return it != jobs_.end() && !it->second.isBackup && it->second.done();
 }
@@ -83,12 +93,14 @@ BackupEngine::restoreComplete(std::uint32_t cta_hw_id) const
 void
 BackupEngine::clearJob(std::uint32_t cta_hw_id)
 {
+    SeqGuard guard(domain_);
     jobs_.erase(cta_hw_id);
 }
 
 void
 BackupEngine::tick(Cycle now)
 {
+    SeqGuard guard(domain_);
     // An injected staging-buffer stall freezes both the fill and drain
     // stages for the cycle; in-flight state is untouched, so the
     // transfer resumes exactly where it stopped once the window closes.
@@ -138,6 +150,7 @@ BackupEngine::tick(Cycle now)
 void
 BackupEngine::onResponse(const MemResponse &response, Cycle now)
 {
+    SeqGuard guard(domain_);
     (void)now;
     auto it = pendingRestores_.find(response.lineAddr);
     if (it == pendingRestores_.end())
@@ -152,6 +165,7 @@ BackupEngine::onResponse(const MemResponse &response, Cycle now)
 void
 BackupEngine::audit(Cycle now) const
 {
+    SeqGuard guard(domain_);
     (void)now;
     StateDumpScope dump([this] { return debugString(); });
 
@@ -159,13 +173,16 @@ BackupEngine::audit(Cycle now) const
              "staging buffer holds %zu entries, capacity is %u",
              buffer_.size(), lb_.backupBufferEntries);
 
-    // Count where every job's lines currently sit.
-    std::unordered_map<std::uint32_t, std::uint32_t> in_flight;
+    // Count where every job's lines currently sit. The accumulator is
+    // an ordered map and the unordered tables are walked through
+    // sortedKeys() so a failing audit always reports the same line.
+    std::map<std::uint32_t, std::uint32_t> in_flight;
     for (const Transfer &transfer : pendingLines_)
         ++in_flight[transfer.ctaHwId];
     for (const Transfer &transfer : buffer_)
         ++in_flight[transfer.ctaHwId];
-    for (const auto &[addr, cta] : pendingRestores_) {
+    for (const Addr addr : sortedKeys(pendingRestores_)) {
+        const std::uint32_t cta = pendingRestores_.at(addr);
         ++in_flight[cta];
         const auto it = jobs_.find(cta);
         LB_AUDIT(it != jobs_.end() && !it->second.isBackup,
@@ -174,7 +191,8 @@ BackupEngine::audit(Cycle now) const
                  static_cast<unsigned long long>(addr), cta);
     }
 
-    for (const auto &[cta, job] : jobs_) {
+    for (const std::uint32_t cta : sortedKeys(jobs_)) {
+        const Job &job = jobs_.at(cta);
         LB_AUDIT(job.linesDone <= job.linesTotal,
                  "CTA %u job finished %u of %u lines", cta, job.linesDone,
                  job.linesTotal);
@@ -199,6 +217,7 @@ BackupEngine::audit(Cycle now) const
 std::string
 BackupEngine::debugString() const
 {
+    SeqGuard guard(domain_);
     char buf[96];
     std::snprintf(buf, sizeof(buf),
                   "BackupEngine: %zu queued, %zu/%u buffered, %zu "
@@ -206,7 +225,8 @@ BackupEngine::debugString() const
                   pendingLines_.size(), buffer_.size(),
                   lb_.backupBufferEntries, pendingRestores_.size());
     std::string out = buf;
-    for (const auto &[cta, job] : jobs_) {
+    for (const std::uint32_t cta : sortedKeys(jobs_)) {
+        const Job &job = jobs_.at(cta);
         std::snprintf(buf, sizeof(buf), "cta=%u %s %u/%u lines\n", cta,
                       job.isBackup ? "backup" : "restore", job.linesDone,
                       job.linesTotal);
@@ -219,6 +239,7 @@ void
 BackupEngine::tamperJobForTest(std::uint32_t cta_hw_id,
                                std::uint32_t delta)
 {
+    SeqGuard guard(domain_);
     jobs_[cta_hw_id].linesTotal += delta;
 }
 

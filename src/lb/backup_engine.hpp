@@ -21,6 +21,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/thread_safety.hpp"
 #include "common/types.hpp"
 #include "mem/interconnect.hpp"
 
@@ -75,14 +76,18 @@ class BackupEngine : public ResponseSinkIf
     std::string debugString() const;
 
     /** Staging-buffer occupancy (hang-report snapshot). */
-    std::uint32_t stagingOccupancy() const
+    std::uint32_t
+    stagingOccupancy() const
     {
+        SeqGuard guard(domain_);
         return static_cast<std::uint32_t>(buffer_.size());
     }
 
     /** Lines still waiting for a staging-buffer slot. */
-    std::uint32_t stagingBacklog() const
+    std::uint32_t
+    stagingBacklog() const
     {
+        SeqGuard guard(domain_);
         return static_cast<std::uint32_t>(pendingLines_.size());
     }
 
@@ -115,13 +120,21 @@ class BackupEngine : public ResponseSinkIf
     LbConfig lb_;
     Sm *sm_;
     SimStats *stats_;
+    /**
+     * Tick domain of the engine's queues and job table. The backup
+     * engine is per-SM state: under the parallel tick engine it lives
+     * inside that SM's shard, and the capability marks every access the
+     * shard boundary covers.
+     */
+    mutable SeqDomain domain_;
     /** Lines waiting for a staging-buffer slot. */
-    std::deque<Transfer> pendingLines_;
+    std::deque<Transfer> pendingLines_ LB_GUARDED_BY(domain_);
     /** Staging buffer contents (bounded by lb_.backupBufferEntries). */
-    std::deque<Transfer> buffer_;
-    std::unordered_map<std::uint32_t, Job> jobs_;
+    std::deque<Transfer> buffer_ LB_GUARDED_BY(domain_);
+    std::unordered_map<std::uint32_t, Job> jobs_ LB_GUARDED_BY(domain_);
     /** Restore responses outstanding: memAddr -> cta. */
-    std::unordered_map<Addr, std::uint32_t> pendingRestores_;
+    std::unordered_map<Addr, std::uint32_t> pendingRestores_
+        LB_GUARDED_BY(domain_);
 };
 
 } // namespace lbsim

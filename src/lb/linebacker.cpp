@@ -252,7 +252,7 @@ Linebacker::endWindow(Sm &sm, Cycle now)
         }
         // Opt-in controller trace (set LBTRACE=1): one line per decision
         // window on SM 0, for tuning and debugging throttle behaviour.
-        if (std::getenv("LBTRACE") && sm.id() == 0) {
+        if (envFlag("LBTRACE") && sm.id() == 0) {
             std::fprintf(stderr,
                          "lbtrace cyc=%llu ipc=%.3f ref=%.3f var=%+.2f "
                          "activeCtas=%u vttParts=%u lastAction=%d\n",

@@ -40,6 +40,7 @@ DramChannel::rowOf(Addr line_addr) const
 void
 DramChannel::enqueue(const DramCommand &cmd, Cycle now, Cycle available)
 {
+    SeqGuard guard(domain_);
     DramCommand queued = cmd;
     queued.enqueued = now;
     queued.available = std::max(now, available);
@@ -49,6 +50,7 @@ DramChannel::enqueue(const DramCommand &cmd, Cycle now, Cycle available)
 void
 DramChannel::tick(Cycle now)
 {
+    SeqGuard guard(domain_);
 
     // Issue a burst of commands per core cycle so bank activations
     // overlap: while one bank precharges/activates, other banks' commands
@@ -160,6 +162,7 @@ DramChannel::issueOne(Cycle now, bool prefer_miss)
 void
 DramChannel::drainCompleted(Cycle now, std::vector<DramCompletion> &out)
 {
+    SeqGuard guard(domain_);
     // Completions were issued in service order but may finish out of
     // order only when latencies differ; the skew is small, so a stable
     // scan keeps things simple.

@@ -16,6 +16,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/thread_safety.hpp"
 #include "mem/request.hpp"
 
 namespace lbsim
@@ -48,7 +49,12 @@ class DramChannel
                 SimStats *stats);
 
     /** Backpressure: queue has room. */
-    bool canAccept() const { return queue_.size() < cfg_.dramQueueDepth; }
+    bool
+    canAccept() const
+    {
+        SeqGuard guard(domain_);
+        return queue_.size() < cfg_.dramQueueDepth;
+    }
 
     /**
      * Enqueue @p cmd (caller must have checked canAccept()).
@@ -66,8 +72,10 @@ class DramChannel
     /** Pop completions that finished by @p now. */
     void drainCompleted(Cycle now, std::vector<DramCompletion> &out);
 
-    std::uint32_t queueDepth() const
+    std::uint32_t
+    queueDepth() const
     {
+        SeqGuard guard(domain_);
         return static_cast<std::uint32_t>(queue_.size());
     }
 
@@ -80,18 +88,28 @@ class DramChannel
 
     std::uint32_t bankOf(Addr line_addr) const;
     std::uint64_t rowOf(Addr line_addr) const;
-    void issueOne(Cycle now, bool prefer_miss);
+    void issueOne(Cycle now, bool prefer_miss) LB_REQUIRES(domain_);
 
     const GpuConfig &cfg_;
     SimStats *stats_;
-    std::deque<DramCommand> queue_;
-    std::deque<DramCompletion> completed_;
-    std::vector<std::uint64_t> openRow_;
-    std::vector<bool> rowValid_;
-    std::vector<double> bankBusy_;     ///< Next read slot per bank.
-    std::vector<Cycle> bankActivate_;  ///< Next activation slot (tRC).
-    std::uint32_t scheduled_ = 0;   ///< Issued but not yet completed.
-    double busFree_ = 0;         ///< Next instant the data bus is idle.
+    /**
+     * Tick domain of the channel's queues and bank timing state. Each
+     * DRAM channel stays a single shard under the parallel tick engine;
+     * the capability marks exactly the state that shard owns.
+     */
+    mutable SeqDomain domain_;
+    std::deque<DramCommand> queue_ LB_GUARDED_BY(domain_);
+    std::deque<DramCompletion> completed_ LB_GUARDED_BY(domain_);
+    std::vector<std::uint64_t> openRow_ LB_GUARDED_BY(domain_);
+    std::vector<bool> rowValid_ LB_GUARDED_BY(domain_);
+    /** Next read slot per bank. */
+    std::vector<double> bankBusy_ LB_GUARDED_BY(domain_);
+    /** Next activation slot (tRC). */
+    std::vector<Cycle> bankActivate_ LB_GUARDED_BY(domain_);
+    /** Issued but not yet completed. */
+    std::uint32_t scheduled_ LB_GUARDED_BY(domain_) = 0;
+    /** Next instant the data bus is idle. */
+    double busFree_ LB_GUARDED_BY(domain_) = 0;
     double busCyclesPerLine_;    ///< Data-bus occupancy per 128 B line.
 };
 

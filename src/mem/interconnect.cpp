@@ -40,12 +40,14 @@ Interconnect::attachSm(std::uint32_t sm_id, ResponseSinkIf *sink)
 bool
 Interconnect::canAcceptRequest(std::uint32_t sm_id) const
 {
+    SeqGuard guard(domain_);
     return inFlightPerSm_[sm_id] < maxInFlightPerSm_;
 }
 
 void
 Interconnect::sendRequest(const MemRequest &req, Cycle now)
 {
+    SeqGuard guard(domain_);
     LB_ASSERT(req.smId < inFlightPerSm_.size(),
               "request from out-of-range SM %u", req.smId);
     LB_ASSERT(req.lineAddr != kNoAddr,
@@ -58,6 +60,7 @@ Interconnect::sendRequest(const MemRequest &req, Cycle now)
 void
 Interconnect::sendResponse(const MemResponse &resp, Cycle now)
 {
+    SeqGuard guard(domain_);
     LB_ASSERT(resp.smId < sinks_.size(),
               "response for out-of-range SM %u", resp.smId);
     const Cycle extra = fi_ ? fi_->icntResponseDelay(now) : 0;
@@ -70,6 +73,7 @@ Interconnect::sendResponse(const MemResponse &resp, Cycle now)
 void
 Interconnect::tick(Cycle now)
 {
+    SeqGuard guard(domain_);
     // Deliver requests whose hop latency elapsed; a full partition queue
     // stalls that request (and, FIFO, those behind it).
     std::size_t pending = requests_.size();
@@ -105,6 +109,7 @@ Interconnect::tick(Cycle now)
 void
 Interconnect::audit(Cycle now) const
 {
+    SeqGuard guard(domain_);
     StateDumpScope dump([this] { return debugString(); });
 
     // The per-SM in-flight counter tracks exactly the requests still
@@ -147,6 +152,7 @@ Interconnect::audit(Cycle now) const
 void
 Interconnect::auditDrained() const
 {
+    SeqGuard guard(domain_);
     StateDumpScope dump([this] { return debugString(); });
     LB_AUDIT(requests_.empty(),
              "%zu requests still queued after the grid drained",
@@ -160,6 +166,7 @@ Interconnect::auditDrained() const
 std::string
 Interconnect::debugString() const
 {
+    SeqGuard guard(domain_);
     char buf[128];
     std::snprintf(buf, sizeof(buf),
                   "Interconnect: %zu queued requests, %zu queued "

@@ -16,6 +16,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/thread_safety.hpp"
 #include "mem/request.hpp"
 #include "mem/request_ledger.hpp"
 
@@ -82,6 +83,7 @@ class Interconnect
     bool
     quiescent() const
     {
+        SeqGuard guard(domain_);
         return requests_.empty() && responses_.empty();
     }
 
@@ -122,10 +124,17 @@ class Interconnect
     FaultInjector *fi_;
     std::vector<MemoryPartition *> partitions_;
     std::vector<ResponseSinkIf *> sinks_;
-    std::deque<InFlightRequest> requests_;
-    std::deque<InFlightResponse> responses_;
+    /**
+     * Tick domain of the crossbar queues. The parallel tick engine
+     * synchronizes SM shards exactly here, so the queues are the first
+     * state that will need a real lock (or per-shard staging queues);
+     * the capability makes every access site explicit today.
+     */
+    mutable SeqDomain domain_;
+    std::deque<InFlightRequest> requests_ LB_GUARDED_BY(domain_);
+    std::deque<InFlightResponse> responses_ LB_GUARDED_BY(domain_);
     std::uint32_t maxInFlightPerSm_;
-    std::vector<std::uint32_t> inFlightPerSm_;
+    std::vector<std::uint32_t> inFlightPerSm_ LB_GUARDED_BY(domain_);
     RequestLedger ledger_;
 };
 

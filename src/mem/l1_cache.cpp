@@ -1,5 +1,7 @@
 #include "mem/l1_cache.hpp"
 
+#include "common/det.hpp"
+
 #include <algorithm>
 #include <cstdio>
 
@@ -273,8 +275,7 @@ L1Cache::audit(Cycle now, Cycle mshr_leak_bound) const
     LB_AUDIT(pendingFills_.size() <= mshrs_.capacity(),
              "%zu pending fills recorded but only %u MSHRs exist",
              pendingFills_.size(), mshrs_.capacity());
-    for (const auto &[line, fill] : pendingFills_) {
-        (void)fill;
+    for (const Addr line : sortedKeys(pendingFills_)) {
         LB_AUDIT(mshrs_.pending(line),
                  "pending fill for line %llx has no MSHR entry — the "
                  "fill will never arrive",
@@ -304,7 +305,8 @@ L1Cache::debugString() const
                   pendingFills_.size(), completed_.size(),
                   tags_.validLines());
     std::string out = buf;
-    for (const auto &[line, fill] : pendingFills_) {
+    for (const Addr line : sortedKeys(pendingFills_)) {
+        const PendingFill &fill = pendingFills_.at(line);
         std::snprintf(buf, sizeof(buf),
                       "fill line=%llx hpc=%u owner=%u cold=%d mshr=%d\n",
                       static_cast<unsigned long long>(line), fill.hpc,

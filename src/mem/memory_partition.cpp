@@ -1,5 +1,7 @@
 #include "mem/memory_partition.hpp"
 
+#include "common/det.hpp"
+
 #include <cstdio>
 
 #include "common/check.hpp"
@@ -33,6 +35,7 @@ MemoryPartition::respond(const PendingRead &read, Cycle ready)
 bool
 MemoryPartition::deliver(const MemRequest &req, Cycle now)
 {
+    SeqGuard guard(domain_);
     LB_ASSERT(icnt_->partitionOf(req.lineAddr) == id_,
               "request for line %llx delivered to partition %u "
               "(owner is %u)",
@@ -94,9 +97,11 @@ MemoryPartition::deliver(const MemRequest &req, Cycle now)
 void
 MemoryPartition::audit(Cycle now) const
 {
+    SeqGuard guard(domain_);
     l2_.tags().audit(now);
     StateDumpScope dump([this] { return debugString(); });
-    for (const auto &[id, read] : pendingReads_) {
+    for (const std::uint64_t id : sortedKeys(pendingReads_)) {
+        const PendingRead &read = pendingReads_.at(id);
         LB_AUDIT(read.lineAddr != kNoAddr,
                  "pending read %llu has sentinel address",
                  static_cast<unsigned long long>(id));
@@ -115,13 +120,15 @@ MemoryPartition::audit(Cycle now) const
 std::string
 MemoryPartition::debugString() const
 {
+    SeqGuard guard(domain_);
     char buf[128];
     std::snprintf(buf, sizeof(buf),
                   "MemoryPartition %u: %zu pending reads, nextId=%llu\n",
                   id_, pendingReads_.size(),
                   static_cast<unsigned long long>(nextReadId_));
     std::string out = buf;
-    for (const auto &[id, read] : pendingReads_) {
+    for (const std::uint64_t id : sortedKeys(pendingReads_)) {
+        const PendingRead &read = pendingReads_.at(id);
         std::snprintf(buf, sizeof(buf),
                       "id=%llu line=%llx sm=%u kind=%d\n",
                       static_cast<unsigned long long>(id),
@@ -135,6 +142,7 @@ MemoryPartition::debugString() const
 void
 MemoryPartition::tick(Cycle now)
 {
+    SeqGuard guard(domain_);
     dram_.tick(now);
 
     std::vector<DramCompletion> done;

@@ -18,6 +18,7 @@
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/thread_safety.hpp"
 #include "mem/dram.hpp"
 #include "mem/l2_cache.hpp"
 #include "mem/request.hpp"
@@ -73,7 +74,8 @@ class MemoryPartition
         RequestKind kind;
     };
 
-    void respond(const PendingRead &read, Cycle ready);
+    void respond(const PendingRead &read, Cycle ready)
+        LB_REQUIRES(domain_);
 
     const GpuConfig &cfg_;
     std::uint32_t id_;
@@ -82,8 +84,15 @@ class MemoryPartition
     FaultInjector *fi_;
     L2Slice l2_;
     DramChannel dram_;
-    std::uint64_t nextReadId_ = 1;
-    std::unordered_map<std::uint64_t, PendingRead> pendingReads_;
+    /**
+     * Tick domain of the partition's pending-read table. Partitions are
+     * natural shards for the parallel tick engine (one per channel);
+     * the capability marks the state each shard owns.
+     */
+    mutable SeqDomain domain_;
+    std::uint64_t nextReadId_ LB_GUARDED_BY(domain_) = 1;
+    std::unordered_map<std::uint64_t, PendingRead> pendingReads_
+        LB_GUARDED_BY(domain_);
 };
 
 } // namespace lbsim

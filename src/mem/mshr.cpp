@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "common/det.hpp"
+
 #include "common/check.hpp"
 #include "common/log.hpp"
 
@@ -20,6 +22,7 @@ MshrOutcome
 MshrFile::registerMiss(Addr line_addr, std::uint64_t access_id,
                        bool allocate_on_fill, Cycle now)
 {
+    SeqGuard guard(domain_);
     auto it = entries_.find(line_addr);
     if (it != entries_.end()) {
         Entry &entry = it->second;
@@ -45,6 +48,7 @@ MshrFile::registerMiss(Addr line_addr, std::uint64_t access_id,
 bool
 MshrFile::pending(Addr line_addr) const
 {
+    SeqGuard guard(domain_);
     return entries_.count(line_addr) != 0;
 }
 
@@ -52,6 +56,7 @@ bool
 MshrFile::completeFill(Addr line_addr,
                        std::vector<std::uint64_t> &waiters_out)
 {
+    SeqGuard guard(domain_);
     auto it = entries_.find(line_addr);
     if (it == entries_.end())
         panic("MSHR fill for line %llu with no pending entry",
@@ -66,6 +71,7 @@ MshrFile::completeFill(Addr line_addr,
 void
 MshrFile::audit(Cycle now, Cycle leak_bound) const
 {
+    SeqGuard guard(domain_);
     StateDumpScope dump([this] { return debugString(); });
 
     LB_AUDIT(entries_.size() <= maxEntries_,
@@ -73,7 +79,8 @@ MshrFile::audit(Cycle now, Cycle leak_bound) const
              entries_.size(), maxEntries_);
 
     std::unordered_set<std::uint64_t> seen_ids;
-    for (const auto &[line, entry] : entries_) {
+    for (const Addr line : sortedKeys(entries_)) {
+        const Entry &entry = entries_.at(line);
         LB_AUDIT(!entry.waiters.empty(),
                  "MSHR entry for line %llx has no waiters",
                  static_cast<unsigned long long>(line));
@@ -109,10 +116,12 @@ MshrFile::audit(Cycle now, Cycle leak_bound) const
 std::string
 MshrFile::debugString() const
 {
+    SeqGuard guard(domain_);
     std::string out = "MshrFile " + std::to_string(entries_.size()) + "/" +
         std::to_string(maxEntries_) + " entries\n";
     char buf[128];
-    for (const auto &[line, entry] : entries_) {
+    for (const Addr line : sortedKeys(entries_)) {
+        const Entry &entry = entries_.at(line);
         std::snprintf(buf, sizeof(buf),
                       "line=%llx waiters=%zu alloc=%d at=%llu\n",
                       static_cast<unsigned long long>(line),

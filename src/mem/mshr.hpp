@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_safety.hpp"
 #include "common/types.hpp"
 
 namespace lbsim
@@ -55,8 +56,10 @@ class MshrFile
     bool completeFill(Addr line_addr,
                       std::vector<std::uint64_t> &waiters_out);
 
-    std::uint32_t inUse() const
+    std::uint32_t
+    inUse() const
     {
+        SeqGuard guard(domain_);
         return static_cast<std::uint32_t>(entries_.size());
     }
     std::uint32_t capacity() const { return maxEntries_; }
@@ -83,7 +86,13 @@ class MshrFile
 
     std::uint32_t maxEntries_;
     std::uint32_t maxMerges_;
-    std::unordered_map<Addr, Entry> entries_;
+    /**
+     * Tick domain of the MSHR file. One MSHR file per SM: under the
+     * parallel tick engine this state belongs to that SM's shard, and
+     * the capability marks every access that the shard boundary covers.
+     */
+    mutable SeqDomain domain_;
+    std::unordered_map<Addr, Entry> entries_ LB_GUARDED_BY(domain_);
 };
 
 } // namespace lbsim

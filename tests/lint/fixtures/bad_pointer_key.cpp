@@ -1,0 +1,14 @@
+// Fixture: ordered associative containers keyed on pointer values.
+// Iteration order follows the allocator, so address-space layout
+// (ASLR, malloc history) leaks into anything derived from a walk.
+
+#include <map>
+#include <set>
+
+class StreamingMultiprocessor;
+
+struct WaiterTable
+{
+    std::map<StreamingMultiprocessor *, int> waiters_; // EXPECT(lbsim-nondeterminism)
+    std::set<const StreamingMultiprocessor *> parked_; // EXPECT(lbsim-nondeterminism)
+};

@@ -1,0 +1,21 @@
+// Fixture: a *Stats struct whose forEachStatField visitor misses
+// fields. A missed field silently drops out of serialization,
+// memo-cache keys and golden/lockstep stat diffs.
+
+#include <cstdint>
+
+struct QueueStats
+{
+    std::uint64_t enqueued = 0;
+    std::uint64_t dequeued = 0;
+    std::uint64_t highWater = 0; // EXPECT(lbsim-stat-registry)
+    std::uint64_t stallCycles = 0; // EXPECT(lbsim-stat-registry)
+};
+
+template <typename Fn>
+void
+forEachStatField(QueueStats &s, Fn &&fn)
+{
+    fn("enqueued", s.enqueued);
+    fn("dequeued", s.dequeued);
+}

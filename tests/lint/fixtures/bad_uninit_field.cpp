@@ -1,0 +1,19 @@
+// Fixture: uninitialized scalar members of value structs (the name
+// suffix opts a struct into the rule). Reading the indeterminate
+// bytes poisons memo-cache keys, serialized replays and stat diffs.
+
+#include <cstdint>
+
+struct VictimCacheGeometry
+{
+    std::uint32_t numSets; // EXPECT(lbsim-uninit-field)
+    std::uint32_t numWays = 8;
+    double hitLatency; // EXPECT(lbsim-uninit-field)
+};
+
+struct ReplayOptions
+{
+    bool enabled; // EXPECT(lbsim-uninit-field)
+    const char* tracePath; // EXPECT(lbsim-uninit-field)
+    int verbosity = 0;
+};

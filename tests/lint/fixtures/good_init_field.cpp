@@ -1,0 +1,30 @@
+// Fixture: counterpart of bad_uninit_field.cpp — every scalar member
+// of a suffix-matched value struct carries an in-class initializer,
+// and non-suffixed working structs are exempt. Must be silent.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct GoodCacheGeometry
+{
+    std::uint32_t numSets = 64;
+    std::uint32_t numWays = 8;
+    double hitLatency = 1.0;
+    std::string name;
+    std::vector<std::uint32_t> wayMask;
+};
+
+struct GoodReplayOptions
+{
+    bool enabled = false;
+    const char* tracePath = nullptr;
+    int verbosity = 0;
+};
+
+// Not a *Config/*Stats/... struct: transient working state is exempt.
+struct ScratchEntry
+{
+    std::uint64_t line;
+    std::uint32_t age;
+};

@@ -1,0 +1,24 @@
+// Fixture: deterministic counterpart of bad_nondet_calls.cpp — all
+// randomness flows from an explicit seed carried in a config struct.
+// Must be silent under every check.
+
+#include <cstdint>
+#include <random>
+
+struct RngConfig
+{
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+std::uint64_t
+seededDraw(const RngConfig &cfg)
+{
+    std::mt19937_64 rng(cfg.seed);
+    return rng();
+}
+
+std::uint64_t
+simulatedClock(std::uint64_t cycle)
+{
+    return cycle + 1;
+}

@@ -1,0 +1,33 @@
+// Fixture: deterministic counterpart of bad_unordered_walk.cpp.
+// Order-visible walks run over ordered containers; the only unordered
+// walk left is an order-insensitive any-of read. Must be silent.
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct GoodCounters
+{
+    std::unordered_map<std::uint64_t, std::uint64_t> perLine_;
+    std::map<std::uint64_t, std::uint64_t> ordered_;
+    std::uint64_t total_ = 0;
+
+    // Order-insensitive any-of read: no state, stats or output derive
+    // from the walk order, so the unordered iteration is fine.
+    bool
+    busy() const
+    {
+        for (const auto &entry : perLine_) {
+            if (entry.second != 0)
+                return true;
+        }
+        return false;
+    }
+
+    void
+    drainOrdered()
+    {
+        for (const auto &entry : ordered_)
+            total_ += entry.second;
+    }
+};

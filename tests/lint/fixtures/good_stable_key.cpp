@@ -1,0 +1,15 @@
+// Fixture: deterministic counterpart of bad_pointer_key.cpp — the
+// tables are keyed on stable integer ids instead of object addresses.
+// Must be silent.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+struct GoodWaiterTable
+{
+    std::map<std::uint32_t, int> waitersBySm_;
+    std::set<std::uint32_t> parkedSms_;
+    std::vector<int> perSmCredit_;
+};

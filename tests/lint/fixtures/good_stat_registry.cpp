@@ -1,0 +1,26 @@
+// Fixture: counterpart of bad_stat_registry.cpp — the visitor walks
+// every field, including the fields of a nested breakdown struct.
+// Must be silent.
+
+#include <cstdint>
+
+struct LevelStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+struct TierStats
+{
+    std::uint64_t accesses = 0;
+    LevelStats l1;
+};
+
+template <typename Fn>
+void
+forEachStatField(TierStats &s, Fn &&fn)
+{
+    fn("accesses", s.accesses);
+    fn("l1.hits", s.l1.hits);
+    fn("l1.misses", s.l1.misses);
+}

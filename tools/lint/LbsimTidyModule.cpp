@@ -1,0 +1,53 @@
+/**
+ * @file
+ * clang-tidy module registration for the lbsim check suite.
+ *
+ * Built as a shared library and loaded into stock clang-tidy:
+ *
+ *   clang-tidy --load build/tools/lint/liblbsim-tidy.so \
+ *              --checks='-*,lbsim-*' -p build src/lb/linebacker.cpp
+ *
+ * Requires clang-tidy >= 15 (the first release with --load). The
+ * clang-tidy development headers are not packaged by most distros;
+ * point LBSIM_CLANG_TIDY_HEADER_DIR at a clang-tools-extra checkout
+ * (see tools/lint/CMakeLists.txt).
+ */
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "NondeterminismCheck.h"
+#include "StatRegistryCheck.h"
+#include "UninitFieldCheck.h"
+
+namespace lbsim_tidy
+{
+
+class LbsimTidyModule : public clang::tidy::ClangTidyModule
+{
+  public:
+    void
+    addCheckFactories(
+        clang::tidy::ClangTidyCheckFactories &factories) override
+    {
+        factories.registerCheck<NondeterminismCheck>(
+            "lbsim-nondeterminism");
+        factories.registerCheck<UninitFieldCheck>("lbsim-uninit-field");
+        factories.registerCheck<StatRegistryCheck>(
+            "lbsim-stat-registry");
+    }
+};
+
+} // namespace lbsim_tidy
+
+namespace clang::tidy
+{
+
+static ClangTidyModuleRegistry::Add<lbsim_tidy::LbsimTidyModule>
+    lbsimTidyModuleInit("lbsim-module",
+                        "lbsim determinism / registry checks");
+
+/** Anchor the module so --load keeps the registration alive. */
+volatile int lbsimTidyModuleAnchorSource = 0;
+
+} // namespace clang::tidy

@@ -1,0 +1,197 @@
+#include "NondeterminismCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace lbsim_tidy
+{
+
+namespace
+{
+
+/** Functions whose result depends on the environment or wall clock. */
+constexpr const char *kNondetFunctions =
+    "^(::)?(std::)?(rand|srand|random|rand_r|drand48|lrand48|mrand48|"
+    "getenv|secure_getenv|setenv|putenv|time|clock|gettimeofday|"
+    "clock_gettime)$";
+
+constexpr const char *kOrderedAssociative =
+    "^::std::(multi)?(map|set)$";
+
+/** Methods that mutate a container or stream (used on loop bodies). */
+constexpr const char *kMutatingMethods =
+    "^(insert|erase|emplace.*|push_.*|pop_.*|append|assign|clear|"
+    "resize)$";
+
+/** Free functions that produce output / abort (order-visible effects). */
+constexpr const char *kOutputFunctions =
+    "^(::)?(std::)?(printf|fprintf|snprintf|sprintf|puts|fputs)$|"
+    "^(::)?lbsim::(panic|fatal|logMessage)$";
+
+} // namespace
+
+NondeterminismCheck::NondeterminismCheck(
+    llvm::StringRef name, clang::tidy::ClangTidyContext *context)
+    : ClangTidyCheck(name, context),
+      model_dirs_(Options.get(
+          "ModelDirs", "src/core,src/mem,src/lb,src/baselines,src/power"))
+{
+    llvm::SmallVector<llvm::StringRef, 8> parts;
+    llvm::StringRef(model_dirs_).split(parts, ',', -1,
+                                       /*KeepEmpty=*/false);
+    for (llvm::StringRef part : parts)
+        model_dir_list_.push_back(part.trim().str());
+}
+
+void
+NondeterminismCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap &opts)
+{
+    Options.store(opts, "ModelDirs", model_dirs_);
+}
+
+bool
+NondeterminismCheck::inModelDirs(SourceLocation loc,
+                                 const SourceManager &sm) const
+{
+    if (model_dir_list_.empty())
+        return true;
+    const llvm::StringRef file = sm.getFilename(sm.getSpellingLoc(loc));
+    for (const std::string &dir : model_dir_list_) {
+        if (file.contains(dir))
+            return true;
+    }
+    return false;
+}
+
+void
+NondeterminismCheck::registerMatchers(MatchFinder *finder)
+{
+    // 1. Calls to wall-clock / PRNG / environment functions, and any
+    //    *_clock::now().
+    finder->addMatcher(
+        callExpr(callee(functionDecl(matchesName(kNondetFunctions))))
+            .bind("nondet-call"),
+        this);
+    finder->addMatcher(
+        callExpr(callee(functionDecl(
+                     hasName("now"),
+                     hasAncestor(cxxRecordDecl(matchesName(
+                         "(system_clock|steady_clock|"
+                         "high_resolution_clock)$"))))))
+            .bind("clock-now"),
+        this);
+
+    // 2. std::random_device construction.
+    finder->addMatcher(
+        varDecl(hasType(namedDecl(hasName("::std::random_device"))))
+            .bind("random-device"),
+        this);
+
+    // 3. Range-for over an unordered container whose body has
+    //    order-visible effects. The body heuristics mirror the python
+    //    backend: increments/decrements, compound assignment, plain
+    //    assignment through a member access, mutating container member
+    //    calls, output calls.
+    const auto unordered_type = hasType(hasUnqualifiedDesugaredType(
+        recordType(hasDeclaration(classTemplateSpecializationDecl(
+            matchesName("^::std::unordered_"
+                        "(map|set|multimap|multiset)$"))))));
+
+    const auto unordered_range = cxxForRangeStmt(
+        hasRangeInit(ignoringParenImpCasts(anyOf(
+            memberExpr(member(fieldDecl(unordered_type)))
+                .bind("range-member"),
+            declRefExpr(to(varDecl(unordered_type)))
+                .bind("range-var")))));
+
+    const auto mutation = anyOf(
+        unaryOperator(hasAnyOperatorName("++", "--")),
+        binaryOperator(isAssignmentOperator(),
+                       unless(hasOperatorName("=")),
+                       unless(hasLHS(ignoringParenImpCasts(declRefExpr(
+                           to(varDecl(hasLocalStorage()))))))),
+        binaryOperator(hasOperatorName("="),
+                       hasLHS(ignoringParenImpCasts(memberExpr()))),
+        cxxOperatorCallExpr(hasAnyOverloadedOperatorName(
+            "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=",
+            ">>=")),
+        cxxMemberCallExpr(callee(cxxMethodDecl(
+            matchesName(kMutatingMethods), unless(isConst())))),
+        callExpr(callee(functionDecl(matchesName(kOutputFunctions)))));
+
+    finder->addMatcher(
+        cxxForRangeStmt(unordered_range,
+                        hasBody(hasDescendant(stmt(mutation))))
+            .bind("unordered-loop"),
+        this);
+
+    // 4. Ordered associative containers keyed on a pointer type.
+    finder->addMatcher(
+        fieldDecl(hasType(hasUnqualifiedDesugaredType(recordType(
+                      hasDeclaration(classTemplateSpecializationDecl(
+                          matchesName(kOrderedAssociative),
+                          hasTemplateArgument(
+                              0, refersToType(pointerType()))))))))
+            .bind("pointer-keyed"),
+        this);
+}
+
+void
+NondeterminismCheck::check(const MatchFinder::MatchResult &result)
+{
+    const SourceManager &sm = *result.SourceManager;
+
+    if (const auto *call = result.Nodes.getNodeAs<CallExpr>("nondet-call")) {
+        if (!inModelDirs(call->getBeginLoc(), sm))
+            return;
+        diag(call->getBeginLoc(),
+             "call to nondeterministic function in model code; thread "
+             "explicit config/seed state instead");
+        return;
+    }
+    if (const auto *call = result.Nodes.getNodeAs<CallExpr>("clock-now")) {
+        if (!inModelDirs(call->getBeginLoc(), sm))
+            return;
+        diag(call->getBeginLoc(),
+             "wall-clock read in model code; simulation time is the "
+             "only clock the model may observe");
+        return;
+    }
+    if (const auto *var =
+            result.Nodes.getNodeAs<VarDecl>("random-device")) {
+        if (!inModelDirs(var->getBeginLoc(), sm))
+            return;
+        diag(var->getBeginLoc(),
+             "std::random_device in model code; use the seeded "
+             "deterministic RNG from the config");
+        return;
+    }
+    if (const auto *loop =
+            result.Nodes.getNodeAs<CXXForRangeStmt>("unordered-loop")) {
+        if (!inModelDirs(loop->getBeginLoc(), sm))
+            return;
+        diag(loop->getBeginLoc(),
+             "iteration over unordered container with order-visible "
+             "effects in the body; walk sortedKeys() from "
+             "common/det.hpp instead");
+        return;
+    }
+    if (const auto *field =
+            result.Nodes.getNodeAs<FieldDecl>("pointer-keyed")) {
+        if (!inModelDirs(field->getBeginLoc(), sm))
+            return;
+        diag(field->getBeginLoc(),
+             "ordered container keyed on a pointer; iteration order "
+             "depends on address-space layout — key on a stable id "
+             "instead");
+        return;
+    }
+}
+
+} // namespace lbsim_tidy

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * lbsim-nondeterminism: flag nondeterminism sources in model code.
+ *
+ * The simulator's core promise is bit-identical stats for identical
+ * configs (the memo cache, golden tests and lockstep checker all rely
+ * on it). This check rejects the constructs that break the promise:
+ *
+ *  - calls to wall-clock / PRNG / environment functions (rand, time,
+ *    getenv, std::random_device, std::chrono::*_clock::now, ...)
+ *  - range-for loops over std::unordered_{map,set} members whose body
+ *    mutates state or produces output (iteration order is library- and
+ *    history-dependent; walk sortedKeys() from common/det.hpp instead)
+ *  - std::map / std::set keyed on pointer values (address-space layout
+ *    leaks into iteration order)
+ *
+ * Scope: files under the ModelDirs option (default
+ * "src/core,src/mem,src/lb,src/baselines,src/power"); an empty option
+ * value means every file, which is what the fixture corpus uses.
+ *
+ * The portable twin of this check lives in tools/lint/lbsim_lint.py;
+ * keep the two behaviourally aligned (the fixtures in tests/lint/ are
+ * run against both backends).
+ */
+
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace lbsim_tidy
+{
+
+class NondeterminismCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    NondeterminismCheck(llvm::StringRef name,
+                        clang::tidy::ClangTidyContext *context);
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void
+    check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &opts)
+        override;
+
+  private:
+    bool inModelDirs(clang::SourceLocation loc,
+                     const clang::SourceManager &sm) const;
+
+    /** Comma-separated dir prefixes; empty = every file. */
+    std::string model_dirs_;
+    std::vector<std::string> model_dir_list_;
+};
+
+} // namespace lbsim_tidy

@@ -1,0 +1,137 @@
+#include "StatRegistryCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/Basic/SourceManager.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace lbsim_tidy
+{
+
+void
+StatRegistryCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        cxxRecordDecl(isDefinition(), matchesName("Stats$"))
+            .bind("stats-record"),
+        this);
+    finder->addMatcher(
+        cxxRecordDecl(isDefinition()).bind("any-record"), this);
+
+    // The visitor is usually a function template (generic callback), so
+    // member accesses inside it can be value-dependent; collect both
+    // resolved and dependent member expressions.
+    finder->addMatcher(
+        memberExpr(hasAncestor(
+                       functionDecl(hasName("forEachStatField"))
+                           .bind("visitor")))
+            .bind("visited-member"),
+        this);
+    finder->addMatcher(
+        cxxDependentScopeMemberExpr(
+            hasAncestor(functionDecl(hasName("forEachStatField"))
+                            .bind("visitor")))
+            .bind("visited-dependent"),
+        this);
+}
+
+void
+StatRegistryCheck::check(const MatchFinder::MatchResult &result)
+{
+    const SourceManager &sm = *result.SourceManager;
+
+    if (const auto *record =
+            result.Nodes.getNodeAs<CXXRecordDecl>("any-record")) {
+        std::set<std::string> &members =
+            record_members_[record->getNameAsString()];
+        for (const FieldDecl *field : record->fields())
+            members.insert(field->getNameAsString());
+    }
+
+    if (const auto *record =
+            result.Nodes.getNodeAs<CXXRecordDecl>("stats-record")) {
+        const std::string file =
+            sm.getFilename(sm.getSpellingLoc(record->getBeginLoc()))
+                .str();
+        if (file.empty())
+            return;
+        auto &fields =
+            stats_fields_[file][record->getNameAsString()];
+        if (!fields.empty())
+            return; // already collected this record
+        for (const FieldDecl *field : record->fields()) {
+            FieldInfo info;
+            info.name = field->getNameAsString();
+            info.loc = field->getLocation();
+            if (const auto *rec =
+                    field->getType()->getAsCXXRecordDecl())
+                info.record_type = rec->getNameAsString();
+            fields.push_back(std::move(info));
+        }
+    }
+
+    const auto *visitor =
+        result.Nodes.getNodeAs<FunctionDecl>("visitor");
+    if (!visitor)
+        return;
+    const std::string file =
+        sm.getFilename(sm.getSpellingLoc(visitor->getBeginLoc())).str();
+    if (file.empty())
+        return;
+    if (const auto *member =
+            result.Nodes.getNodeAs<MemberExpr>("visited-member"))
+        visited_members_[file].insert(
+            member->getMemberDecl()->getNameAsString());
+    if (const auto *member = result.Nodes.getNodeAs<
+            CXXDependentScopeMemberExpr>("visited-dependent"))
+        visited_members_[file].insert(
+            member->getMember().getAsString());
+}
+
+void
+StatRegistryCheck::onEndOfTranslationUnit()
+{
+    for (const auto &[file, records] : stats_fields_) {
+        const auto visited_it = visited_members_.find(file);
+        if (visited_it == visited_members_.end())
+            continue; // no visitor in this file: not a registry struct
+        const std::set<std::string> &visited = visited_it->second;
+        for (const auto &[record, fields] : records) {
+            for (const FieldInfo &field : fields) {
+                if (visited.count(field.name))
+                    continue;
+                // A nested struct field counts as covered when any of
+                // its own members is referenced (the visitor recurses
+                // as `s.l1.hits`, never naming `l1` alone in some
+                // styles — and vice versa).
+                if (!field.record_type.empty()) {
+                    const auto rec_it =
+                        record_members_.find(field.record_type);
+                    bool nested_covered = false;
+                    if (rec_it != record_members_.end()) {
+                        for (const std::string &sub : rec_it->second) {
+                            if (visited.count(sub)) {
+                                nested_covered = true;
+                                break;
+                            }
+                        }
+                    }
+                    if (nested_covered)
+                        continue;
+                }
+                diag(field.loc,
+                     "field '%0' of %1 is missing from the "
+                     "forEachStatField visitor; it will be skipped by "
+                     "serialization, memo-cache keys and stat diffs")
+                    << field.name << record;
+            }
+        }
+    }
+    stats_fields_.clear();
+    visited_members_.clear();
+    record_members_.clear();
+}
+
+} // namespace lbsim_tidy

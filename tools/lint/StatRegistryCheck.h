@@ -1,0 +1,67 @@
+/**
+ * @file
+ * lbsim-stat-registry: stat structs vs. their field enumeration.
+ *
+ * SimStats (and any future *Stats struct) is walked by a single
+ * forEachStatField visitor — the memo cache key, serializeStats and
+ * firstStatDifference all derive from it. A field added to the struct
+ * but not to the visitor silently vanishes from serialization and
+ * golden comparisons. This check collects, per file, the fields of
+ * every *Stats struct and the member names referenced inside a
+ * forEachStatField function in the same file, and reports fields the
+ * visitor never touches.
+ *
+ * The visitor is a template (it takes a generic callback), so member
+ * accesses inside it appear as CXXDependentScopeMemberExpr; both
+ * dependent and resolved member expressions are collected. Nested
+ * struct members (e.g. SimStats::l1 of type AccessBreakdown) count as
+ * covered when any of the nested struct's own fields is referenced.
+ *
+ * Structs with no forEachStatField in their file are skipped — only a
+ * struct that opted into the registry pattern is held to it.
+ *
+ * Portable twin: the lbsim-stat-registry check in
+ * tools/lint/lbsim_lint.py.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace lbsim_tidy
+{
+
+class StatRegistryCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void
+    check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void onEndOfTranslationUnit() override;
+
+  private:
+    struct FieldInfo
+    {
+        std::string name;
+        clang::SourceLocation loc;
+        /** Record type name if the field is itself a struct. */
+        std::string record_type;
+    };
+
+    /** file -> Stats record name -> fields. */
+    std::map<std::string, std::map<std::string, std::vector<FieldInfo>>>
+        stats_fields_;
+    /** Record name -> that record's own field names (for nesting). */
+    std::map<std::string, std::set<std::string>> record_members_;
+    /** file -> member names referenced inside forEachStatField. */
+    std::map<std::string, std::set<std::string>> visited_members_;
+};
+
+} // namespace lbsim_tidy

@@ -1,0 +1,39 @@
+#include "UninitFieldCheck.h"
+
+#include "clang/AST/ASTContext.h"
+
+using namespace clang;
+using namespace clang::ast_matchers;
+
+namespace lbsim_tidy
+{
+
+void
+UninitFieldCheck::registerMatchers(MatchFinder *finder)
+{
+    finder->addMatcher(
+        fieldDecl(
+            unless(hasInClassInitializer(anything())),
+            hasType(hasUnqualifiedDesugaredType(
+                anyOf(builtinType(), enumType(), pointerType()))),
+            hasParent(cxxRecordDecl(
+                isDefinition(),
+                matchesName(
+                    "(Config|Stats|Options|Timing|Geometry|Metrics)$"))))
+            .bind("field"),
+        this);
+}
+
+void
+UninitFieldCheck::check(const MatchFinder::MatchResult &result)
+{
+    const auto *field = result.Nodes.getNodeAs<FieldDecl>("field");
+    if (!field || field->isImplicit())
+        return;
+    diag(field->getLocation(),
+         "scalar member %0 of value struct has no initializer; "
+         "indeterminate bytes poison memo-cache keys and replay")
+        << field;
+}
+
+} // namespace lbsim_tidy

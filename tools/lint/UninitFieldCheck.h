@@ -1,0 +1,34 @@
+/**
+ * @file
+ * lbsim-uninit-field: uninitialized scalar members of value structs.
+ *
+ * Config/stat structs are hashed into memo-cache keys, serialized for
+ * fuzz replay, and diffed field-by-field by the lockstep checker; a
+ * single indeterminate byte poisons all three. Every scalar (builtin,
+ * enum or pointer) member of a struct whose name ends in Config, Stats,
+ * Options, Timing, Geometry or Metrics must carry an in-class
+ * initializer.
+ *
+ * Portable twin: the lbsim-uninit-field check in
+ * tools/lint/lbsim_lint.py.
+ */
+
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace lbsim_tidy
+{
+
+class UninitFieldCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    using ClangTidyCheck::ClangTidyCheck;
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void
+    check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+};
+
+} // namespace lbsim_tidy

@@ -2,30 +2,44 @@
 # Static-analysis and sanitizer driver for lbsim.
 #
 # Runs, in order, skipping tools that are not installed:
-#   1. clang-tidy over the library/tool sources (profile: .clang-tidy)
-#   2. cppcheck over src/
-#   3. an ASan+UBSan build with LBSIM_CHECKS=full, followed by ctest
+#   1. the lbsim lint suite (tools/lint): the portable python backend
+#      always, plus the clang-tidy plugin when a built
+#      liblbsim-tidy.so is found (or LBSIM_TIDY_PLUGIN points at one)
+#   2. clang-tidy over the library/tool sources (profile: .clang-tidy,
+#      -warnings-as-errors=*: any finding fails the run)
+#   3. cppcheck over src/
+#   4. an ASan+UBSan build with LBSIM_CHECKS=full, followed by ctest
 #
-# Exit status is non-zero if any stage that actually ran failed.
+# Exit status is non-zero if any stage that actually ran failed. Any
+# lbsim-lint finding fails the run — the tree is kept finding-clean;
+# suppress intentional sites with // NOLINT(check) and a rationale.
 #
 # Usage:
-#   tools/run_static_analysis.sh [--skip-tidy] [--skip-cppcheck]
-#                                [--skip-sanitizers] [-j N]
+#   tools/run_static_analysis.sh [--skip-lint] [--skip-tidy]
+#                                [--skip-cppcheck] [--skip-sanitizers]
+#                                [--fix] [-j N]
+#
+#   --fix is passed through to clang-tidy (applies fix-its from the
+#   stock profile checks; the lbsim checks are diagnose-only).
 
 set -u
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
+run_lint=1
 run_tidy=1
 run_cppcheck=1
 run_sanitizers=1
+tidy_fix=0
 failures=0
 
 while [ $# -gt 0 ]; do
     case "$1" in
+        --skip-lint) run_lint=0 ;;
         --skip-tidy) run_tidy=0 ;;
         --skip-cppcheck) run_cppcheck=0 ;;
         --skip-sanitizers) run_sanitizers=0 ;;
+        --fix) tidy_fix=1 ;;
         -j) shift; jobs="$1" ;;
         *) echo "unknown option: $1" >&2; exit 2 ;;
     esac
@@ -34,28 +48,50 @@ done
 
 note() { printf '\n=== %s ===\n' "$*"; }
 
-# --- 1. clang-tidy -----------------------------------------------------------
+# --- 1. lbsim lint suite -----------------------------------------------------
+if [ "$run_lint" -eq 1 ]; then
+    note "lbsim-lint (python backend)"
+    python3 "$repo_root/tests/lint/check_lint.py" tree || failures=1
+
+    # The plugin backend needs a built liblbsim-tidy.so (cmake
+    # -DLBSIM_BUILD_LINT=ON) and clang-tidy >= 15 for --load.
+    plugin="${LBSIM_TIDY_PLUGIN:-}"
+    if [ -z "$plugin" ]; then
+        for candidate in "$repo_root"/build*/tools/lint/liblbsim-tidy.so; do
+            [ -f "$candidate" ] && plugin="$candidate" && break
+        done
+    fi
+    if [ -n "$plugin" ] && command -v clang-tidy >/dev/null 2>&1; then
+        note "lbsim-lint (clang-tidy plugin backend)"
+        python3 "$repo_root/tests/lint/check_lint.py" fixtures \
+            --backend tidy --plugin "$plugin" || failures=1
+    fi
+fi
+
+# --- 2. clang-tidy -----------------------------------------------------------
 if [ "$run_tidy" -eq 1 ]; then
     if command -v clang-tidy >/dev/null 2>&1; then
         note "clang-tidy"
         tidy_build="$repo_root/build-tidy"
+        tidy_args=(-warnings-as-errors='*')
+        [ "$tidy_fix" -eq 1 ] && tidy_args+=(--fix)
         cmake -S "$repo_root" -B "$tidy_build" \
               -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
               -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || failures=1
         if command -v run-clang-tidy >/dev/null 2>&1; then
             run-clang-tidy -p "$tidy_build" -j "$jobs" -quiet \
-                "$repo_root/src/.*\.cpp" || failures=1
+                "${tidy_args[@]}" "$repo_root/src/.*\.cpp" || failures=1
         else
             find "$repo_root/src" -name '*.cpp' -print0 |
                 xargs -0 -n 1 -P "$jobs" clang-tidy -p "$tidy_build" \
-                    --quiet || failures=1
+                    --quiet "${tidy_args[@]}" || failures=1
         fi
     else
         note "clang-tidy not installed; skipping"
     fi
 fi
 
-# --- 2. cppcheck -------------------------------------------------------------
+# --- 3. cppcheck -------------------------------------------------------------
 if [ "$run_cppcheck" -eq 1 ]; then
     if command -v cppcheck >/dev/null 2>&1; then
         note "cppcheck"
@@ -70,7 +106,7 @@ if [ "$run_cppcheck" -eq 1 ]; then
     fi
 fi
 
-# --- 3. ASan/UBSan + full checks + ctest -------------------------------------
+# --- 4. ASan/UBSan + full checks + ctest -------------------------------------
 if [ "$run_sanitizers" -eq 1 ]; then
     note "ASan+UBSan build (LBSIM_CHECKS=full)"
     san_build="$repo_root/build-asan"
