@@ -41,6 +41,10 @@ struct BenchOptions
 {
     std::string benchName;
     unsigned threads = 0;   ///< 0 = hardware concurrency.
+    /** SMs to simulate; 0 keeps the standard 2-SM scaled slice. */
+    std::uint32_t sms = 0;
+    /** Worker threads for the parallel SM tick phase; 0 = serial. */
+    std::uint32_t smThreads = 0;
     bool smoke = false;
     bool writeJson = true;
     std::string jsonPath;   ///< Default BENCH_<benchName>.json.
@@ -52,6 +56,9 @@ benchUsage(const std::string &bench_name)
     std::printf(
         "usage: bench_%s [options]\n"
         "  --threads <n>   worker threads (default: hardware)\n"
+        "  --sms <n>       SMs to simulate (default 2, scaled chip)\n"
+        "  --sm-threads <n> parallel SM tick-phase threads (default 1;\n"
+        "                  results bit-identical at any value)\n"
         "  --smoke         reduced cycles and app subset (CI)\n"
         "  --json [path]   JSON output path (default BENCH_%s.json)\n"
         "  --no-json       skip the JSON artifact\n"
@@ -70,6 +77,12 @@ parseBenchArgs(int argc, char **argv, const std::string &bench_name)
         const std::string a = argv[i];
         if (a == "--threads" && i + 1 < argc) {
             opts.threads = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (a == "--sms" && i + 1 < argc) {
+            opts.sms = static_cast<std::uint32_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (a == "--sm-threads" && i + 1 < argc) {
+            opts.smThreads = static_cast<std::uint32_t>(
                 std::strtoul(argv[++i], nullptr, 10));
         } else if (a == "--smoke") {
             opts.smoke = true;
@@ -106,7 +119,8 @@ inline RunnerOptions
 benchRunnerOptions(const BenchOptions &opts = {})
 {
     RunnerOptions options;
-    options.simSms = 2;
+    options.simSms = opts.sms ? opts.sms : 2;
+    options.smThreads = opts.smThreads;
     options.maxCycles = opts.smoke ? 100000 : 400000;
     options.useMemoCache = true;
     return options;

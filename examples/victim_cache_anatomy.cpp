@@ -27,7 +27,7 @@ main()
     Gpu gpu(cfg);
     LbConfig lb;
     Linebacker unit(cfg, lb, SchemeConfig::linebacker(), &gpu.sm(0),
-                    &gpu.stats());
+                    &gpu.smStats(0));
     gpu.setControllers({&unit});
 
     std::printf("Anatomy of Linebacker on %s (%s)\n", app.id.c_str(),
@@ -37,11 +37,13 @@ main()
 
     // Launch and drive manually, sampling once per monitoring window.
     gpu.runKernel(kernel); // maxCycles=1: launches CTAs, ticks once.
-    const SimStats &stats = gpu.stats();
     std::uint64_t last_instr = 0;
     for (int window = 0; window < 12; ++window) {
         for (Cycle c = 0; c < lb.monitorPeriod; ++c)
             gpu.tick();
+        // Re-fetch each window: stats() folds the per-SM shards of the
+        // parallel tick engine (DESIGN.md §13) into the aggregate.
+        const SimStats &stats = gpu.stats();
         const double window_ipc =
             static_cast<double>(stats.instructionsIssued - last_instr) /
             lb.monitorPeriod;
@@ -61,6 +63,7 @@ main()
                     window_ipc);
     }
 
+    const SimStats &stats = gpu.stats();
     std::printf("\nSelected loads: %u of %zu static loads\n",
                 unit.loadMonitor().selectedCount(), app.loads.size());
     std::printf("Registers backed up to DRAM: %llu lines, restored: "

@@ -96,6 +96,17 @@ struct GpuConfig
     Cycle auditStride = 8192;
 
     /**
+     * Worker threads for the parallel SM phase of the tick engine
+     * (DESIGN.md §13). Each cycle the SMs tick concurrently on a
+     * persistent pool of this many threads (including the caller) and
+     * join at the interconnect barrier; 1 (the default) keeps the
+     * classic serial loop. Purely an execution-engine knob — simulated
+     * results are bit-identical for every value, so like auditStride it
+     * is excluded from the memo-cache key.
+     */
+    std::uint32_t smThreads = 1;
+
+    /**
      * Forward-progress watchdog: terminate the run once this many cycles
      * pass with no instruction issued and no memory request retired
      * anywhere on the chip, and emit a structured hang report. 0 (the

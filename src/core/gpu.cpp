@@ -1,5 +1,7 @@
 #include "core/gpu.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "common/log.hpp"
 
@@ -18,14 +20,24 @@ Gpu::Gpu(const GpuConfig &cfg, const GpuBuildOptions &options)
                                               &stats_, &injector_));
         icnt_->attachPartition(p, partitions_.back().get());
     }
+    // Shards are sized before SM construction and never resized again:
+    // each SM (and its Linebacker stack) keeps a pointer into the
+    // vector for the lifetime of the chip.
+    smStats_.resize(cfg_.numSms);
     for (std::uint32_t s = 0; s < cfg_.numSms; ++s) {
-        sms_.push_back(std::make_unique<Sm>(cfg_, s, icnt_.get(), &stats_,
+        sms_.push_back(std::make_unique<Sm>(cfg_, s, icnt_.get(),
+                                            &smStats_[s],
                                             options.l1ExtraWays,
                                             options.cerfUnified,
                                             &injector_));
     }
     controllers_.resize(sms_.size(), nullptr);
     smProgress_.resize(sms_.size(), 0);
+
+    const unsigned threads =
+        std::max<std::uint32_t>(1, std::min(cfg_.smThreads, cfg_.numSms));
+    pool_ = std::make_unique<SmWorkerPool>(threads, sms_.size());
+    smJob_ = [this](std::size_t s) { sms_[s]->tick(now_); };
 }
 
 Gpu::~Gpu() = default;
@@ -44,11 +56,26 @@ Gpu::setControllers(std::vector<SmControllerIf *> controllers)
 void
 Gpu::tick()
 {
+    // Serial memory-side phase: partitions, then crossbar delivery
+    // (which calls back into SMs for fills/restores — still serial).
     for (auto &partition : partitions_)
         partition->tick(now_);
     icnt_->tick(now_);
-    for (auto &sm : sms_)
-        sm->tick(now_);
+
+    // Parallel SM phase: every SM shard ticks concurrently. A shard
+    // writes only its own SM state, its private stats shard, and its
+    // single-producer interconnect staging lane; the staged requests
+    // are drained in SM-index order at the barrier below, which is
+    // byte-for-byte the order the old serial loop produced. The staged
+    // path runs at every thread count (including 1), so results cannot
+    // depend on cfg.smThreads by construction.
+    icnt_->beginSmPhase();
+    pool_->run(smJob_);
+
+    // Serial boundary phase: barrier drain, CTA dispatch (controller
+    // callbacks here may send restores — they take the direct
+    // interconnect path), then the cross-cutting checks.
+    icnt_->drainStaged(now_);
     if (dispatcher_)
         dispatcher_->tick(now_);
     if constexpr (checksEnabled(CheckLevel::Full)) {
@@ -56,14 +83,36 @@ Gpu::tick()
             audit();
     }
     if (watchdog_) {
-        for (std::size_t s = 0; s < sms_.size(); ++s)
+        // Global progress = folded aggregate + unfolded shard deltas;
+        // numerically identical to the serial engine's feed.
+        std::uint64_t issued = stats_.instructionsIssued;
+        for (std::size_t s = 0; s < sms_.size(); ++s) {
             smProgress_[s] = sms_[s]->instructionsIssued();
-        watchdog_->observe(now_,
-                           stats_.instructionsIssued +
-                               icnt_->ledger().totalRetired(),
+            issued += smStats_[s].instructionsIssued;
+        }
+        watchdog_->observe(now_, issued + icnt_->ledger().totalRetired(),
                            smProgress_);
     }
     ++now_;
+}
+
+SimStats &
+Gpu::stats()
+{
+    foldSmStats();
+    return stats_;
+}
+
+void
+Gpu::foldSmStats()
+{
+    for (SimStats &shard : smStats_) {
+        foldShardStats(stats_, shard);
+        // Clearing makes the fold idempotent: future SM-phase writes
+        // accumulate fresh deltas (the two assignment-semantics fields
+        // are monotone per SM, so their max-fold stays exact).
+        shard = SimStats{};
+    }
 }
 
 void
@@ -117,6 +166,8 @@ Gpu::runKernel(const KernelInfo &kernel)
         while (now_ < warm_end && !done() && !watchdogTripped())
             tick();
         stats_ = SimStats{};
+        for (SimStats &shard : smStats_)
+            shard = SimStats{};
         measureStart_ = now_;
         for (auto &sm : sms_)
             sm->resetOccupancyAccumulators();
@@ -201,6 +252,7 @@ Gpu::buildHangReport() const
 void
 Gpu::finalizeStats()
 {
+    foldSmStats();
     stats_.cycles = now_ - measureStart_;
     double active = 0;
     double dur = 0;

@@ -70,8 +70,11 @@ describeApp(const AppProfile &app)
  * Every configuration field that can change simulation results must
  * appear here: a sweep that mutates a non-keyed field would silently
  * return stale cache hits. The only deliberate exclusions are
- * GpuConfig::auditStride (debugging knob with no architectural effect)
- * and RunnerOptions::useMemoCache (meta).
+ * GpuConfig::auditStride (debugging knob with no architectural effect),
+ * GpuConfig::smThreads / RunnerOptions::smThreads (execution-engine
+ * knobs — results are bit-identical at any thread count, which the
+ * ParallelTick determinism tests enforce) and
+ * RunnerOptions::useMemoCache (meta).
  */
 std::string
 describeConfig(const GpuConfig &cfg, const LbConfig &lb,
@@ -282,6 +285,8 @@ SimRunner::runUncached(const AppProfile &app, const SchemeConfig &scheme)
         : baseCfg_;
     if (options_.maxCycles)
         cfg.maxCycles = options_.maxCycles;
+    if (options_.smThreads)
+        cfg.smThreads = options_.smThreads;
 
     const KernelInfo kernel = app.buildKernel(cfg);
 
@@ -334,8 +339,11 @@ SimRunner::runUncached(const AppProfile &app, const SchemeConfig &scheme)
         }
 
         if (scheme.victim != VictimMode::Off) {
+            // Each Linebacker writes into its SM's private stats shard:
+            // onCycle runs inside the parallel SM phase, where the
+            // aggregate bag must stay untouched.
             owned.push_back(std::make_unique<Linebacker>(
-                gpu.config(), lbCfg_, scheme, &gpu.sm(i), &gpu.stats(),
+                gpu.config(), lbCfg_, scheme, &gpu.sm(i), &gpu.smStats(i),
                 inner));
             lbs.push_back(static_cast<Linebacker *>(owned.back().get()));
             controllers[i] = owned.back().get();

@@ -132,7 +132,7 @@ Linebacker::onCycle(Sm &sm, Cycle now)
     // not a permanent capacity loss.
     if (FaultInjector *fi = sm.faultInjector();
         fi && phase_ == Phase::Active && !vtt_.tagOnlyMode() &&
-        vtt_.activePartitions() > 0 && fi->takeVttRevoke(now)) {
+        vtt_.activePartitions() > 0 && fi->takeVttRevoke(now, sm.id())) {
         vtt_.setActivePartitions(vtt_.activePartitions() - 1);
     }
 

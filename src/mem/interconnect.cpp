@@ -16,7 +16,7 @@ Interconnect::Interconnect(const GpuConfig &cfg, SimStats *stats,
       partitions_(cfg.numMemPartitions, nullptr),
       sinks_(cfg.numSms, nullptr),
       maxInFlightPerSm_(cfg.l1MshrEntries + cfg.dramQueueDepth),
-      inFlightPerSm_(cfg.numSms, 0), ledger_(cfg.numSms)
+      inFlightPerSm_(cfg.numSms, 0), lanes_(cfg.numSms), ledger_(cfg.numSms)
 {
 }
 
@@ -40,21 +40,75 @@ Interconnect::attachSm(std::uint32_t sm_id, ResponseSinkIf *sink)
 bool
 Interconnect::canAcceptRequest(std::uint32_t sm_id) const
 {
-    SeqGuard guard(domain_);
-    return inFlightPerSm_[sm_id] < maxInFlightPerSm_;
+    std::size_t pending = 0;
+    {
+        // Read-only during the SM phase: inFlightPerSm_ only mutates in
+        // the serial phases, so concurrent shard reads are safe.
+        SeqGuard guard(domain_);
+        pending = inFlightPerSm_[sm_id];
+    }
+    if (smPhase_) {
+        // Staged-but-undrained requests consume crossbar credit exactly
+        // like the direct path's immediate counter increment did, so
+        // same-cycle backpressure is unchanged.
+        const Lane &lane = lanes_[sm_id];
+        SeqGuard guard(lane.domain);
+        pending += lane.staged.size();
+    }
+    return pending < maxInFlightPerSm_;
 }
 
 void
 Interconnect::sendRequest(const MemRequest &req, Cycle now)
 {
-    SeqGuard guard(domain_);
     LB_ASSERT(req.smId < inFlightPerSm_.size(),
               "request from out-of-range SM %u", req.smId);
     LB_ASSERT(req.lineAddr != kNoAddr,
               "request with sentinel address from SM %u", req.smId);
+    if (smPhase_) {
+        // SM phase: stage into the sender's own lane; the ledger issue
+        // event is deferred to the barrier drain (the ledger is shared
+        // serial-phase state). @p now is the same cycle drainStaged()
+        // will run with, so arrival timing is unaffected.
+        Lane &lane = lanes_[req.smId];
+        SeqGuard guard(lane.domain);
+        lane.staged.push_back(req);
+        return;
+    }
+    SeqGuard guard(domain_);
+    enqueueRequest(req, now);
+}
+
+void
+Interconnect::enqueueRequest(const MemRequest &req, Cycle now)
+{
     ledger_.onIssue(req, now);
     ++inFlightPerSm_[req.smId];
     requests_.push_back({now + cfg_.icntLatency, req});
+}
+
+void
+Interconnect::beginSmPhase()
+{
+    smPhase_ = true;
+}
+
+void
+Interconnect::drainStaged(Cycle now)
+{
+    smPhase_ = false;
+    SeqGuard guard(domain_);
+    // SM-index order reproduces the serial engine's enqueue order: the
+    // old loop ticked SMs 0..N-1 in turn, so within one cycle the shared
+    // queue received SM 0's requests (in program order), then SM 1's,
+    // and so on — exactly what draining lane 0, then lane 1, ... yields.
+    for (Lane &lane : lanes_) {
+        SeqGuard lane_guard(lane.domain);
+        while (!lane.staged.empty()) {
+            enqueueRequest(lane.staged.front(), now);
+            lane.staged.pop_front();
+        }
+    }
 }
 
 void
@@ -137,6 +191,14 @@ Interconnect::audit(Cycle now) const
                  "SM %zu in-flight counter %u exceeds cap %u", sm,
                  inFlightPerSm_[sm], maxInFlightPerSm_);
     }
+    LB_AUDIT(!smPhase_, "audit must run in a serial phase");
+    for (const Lane &lane : lanes_) {
+        SeqGuard lane_guard(lane.domain);
+        LB_AUDIT(lane.staged.empty(),
+                 "%zu staged requests left in a lane outside the SM "
+                 "phase (barrier drain missed)",
+                 lane.staged.size());
+    }
     for (const InFlightResponse &entry : responses_) {
         LB_AUDIT(entry.resp.smId < sinks_.size() &&
                      sinks_[entry.resp.smId] != nullptr,
@@ -160,6 +222,12 @@ Interconnect::auditDrained() const
     LB_AUDIT(responses_.empty(),
              "%zu responses still queued after the grid drained",
              responses_.size());
+    for (const Lane &lane : lanes_) {
+        SeqGuard lane_guard(lane.domain);
+        LB_AUDIT(lane.staged.empty(),
+                 "%zu staged requests left after the grid drained",
+                 lane.staged.size());
+    }
     ledger_.auditDrained();
 }
 

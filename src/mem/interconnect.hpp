@@ -58,8 +58,33 @@ class Interconnect
     /** Backpressure check before sendRequest(). */
     bool canAcceptRequest(std::uint32_t sm_id) const;
 
-    /** Send @p req toward its partition; arrives after the hop latency. */
+    /**
+     * Send @p req toward its partition; arrives after the hop latency.
+     *
+     * During the parallel SM phase (between beginSmPhase() and
+     * drainStaged()) the request is staged into its SM's single-producer
+     * lane instead of touching the shared queues; the barrier drain
+     * re-enqueues the lanes in SM-index order, which reproduces the
+     * serial engine's global FIFO order (cycle, SM id, program order)
+     * exactly. Outside the SM phase the request takes the direct path.
+     */
     void sendRequest(const MemRequest &req, Cycle now);
+
+    /**
+     * Enter the parallel SM phase: each SM shard may call
+     * canAcceptRequest()/sendRequest() for its own SM id concurrently;
+     * every other entry point stays serial-phase-only.
+     */
+    void beginSmPhase();
+
+    /**
+     * Barrier at the end of the SM phase: drain every staging lane into
+     * the shared request queue in SM-index order (issuing ledger events
+     * deferred from sendRequest) and return to direct mode. @p now must
+     * be the cycle the SMs just ticked, so arrival times match the
+     * direct path.
+     */
+    void drainStaged(Cycle now);
 
     /** Send @p resp back to its SM; arrives after the hop latency. */
     void sendResponse(const MemResponse &resp, Cycle now);
@@ -119,22 +144,47 @@ class Interconnect
         MemResponse resp;
     };
 
+    /**
+     * Single-producer staging lane for one SM's requests during the
+     * parallel SM phase. The lane's domain is owned by that SM's tick
+     * shard while the phase is open and by the crossbar's serial drain
+     * at the barrier — never by both at once, which is what the phase
+     * alternation guarantees and TSan verifies.
+     */
+    struct Lane
+    {
+        mutable SeqDomain domain;
+        std::deque<MemRequest> staged LB_GUARDED_BY(domain);
+    };
+
+    /** Shared-queue enqueue (the classic direct path). */
+    void enqueueRequest(const MemRequest &req, Cycle now)
+        LB_REQUIRES(domain_);
+
     const GpuConfig &cfg_;
     SimStats *stats_;
     FaultInjector *fi_;
     std::vector<MemoryPartition *> partitions_;
     std::vector<ResponseSinkIf *> sinks_;
     /**
-     * Tick domain of the crossbar queues. The parallel tick engine
-     * synchronizes SM shards exactly here, so the queues are the first
-     * state that will need a real lock (or per-shard staging queues);
-     * the capability makes every access site explicit today.
+     * Tick domain of the shared crossbar queues. The parallel tick
+     * engine synchronizes SM shards exactly here: during the SM phase
+     * this domain is read-only (backpressure checks), and all mutation
+     * happens in the serial phases between barriers.
      */
     mutable SeqDomain domain_;
     std::deque<InFlightRequest> requests_ LB_GUARDED_BY(domain_);
     std::deque<InFlightResponse> responses_ LB_GUARDED_BY(domain_);
     std::uint32_t maxInFlightPerSm_;
     std::vector<std::uint32_t> inFlightPerSm_ LB_GUARDED_BY(domain_);
+    /** One staging lane per SM (deque: Lane is non-movable). */
+    std::deque<Lane> lanes_;
+    /**
+     * True between beginSmPhase() and drainStaged(). Written only in
+     * the serial phases; the pool's fork/join barrier orders the writes
+     * against every shard's reads.
+     */
+    bool smPhase_ = false;
     RequestLedger ledger_;
 };
 

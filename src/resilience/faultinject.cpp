@@ -137,7 +137,7 @@ parseFaultPlan(const std::string &text, FaultPlan &out,
 }
 
 FaultInjector::FaultInjector(FaultPlan plan)
-    : plan_(std::move(plan)), consumed_(plan_.events.size(), false)
+    : plan_(std::move(plan)), consumed_(plan_.events.size(), 0)
 {
 }
 
@@ -155,8 +155,10 @@ FaultInjector::windowActive(FaultKind kind, Cycle now,
         if (magnitude_sum)
             *magnitude_sum += event.magnitude;
     }
-    if (active)
-        ++fired_[static_cast<std::uint32_t>(kind)];
+    if (active) {
+        fired_[static_cast<std::uint32_t>(kind)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
     return active;
 }
 
@@ -197,16 +199,24 @@ FaultInjector::backupStallActive(Cycle now)
 }
 
 bool
-FaultInjector::takeVttRevoke(Cycle now)
+FaultInjector::takeVttRevoke(Cycle now, std::uint32_t sm_id)
 {
     for (std::size_t i = 0; i < plan_.events.size(); ++i) {
         const FaultEvent &event = plan_.events[i];
-        if (event.kind != FaultKind::VttRevoke || consumed_[i])
+        // The target-SM filter comes before the consumed check so that
+        // only sm_id's tick shard ever reads or writes consumed_[i] —
+        // the single-owner rule the parallel SM phase relies on.
+        if (event.kind != FaultKind::VttRevoke ||
+            event.magnitude != sm_id) {
+            continue;
+        }
+        if (consumed_[i])
             continue;
         if (now < event.start || now >= event.start + event.duration)
             continue;
-        consumed_[i] = true;
-        ++fired_[static_cast<std::uint32_t>(FaultKind::VttRevoke)];
+        consumed_[i] = 1;
+        fired_[static_cast<std::uint32_t>(FaultKind::VttRevoke)]
+            .fetch_add(1, std::memory_order_relaxed);
         return true;
     }
     return false;
@@ -224,8 +234,8 @@ std::uint64_t
 FaultInjector::totalFired() const
 {
     std::uint64_t total = 0;
-    for (std::uint64_t count : fired_)
-        total += count;
+    for (const auto &count : fired_)
+        total += count.load(std::memory_order_relaxed);
     return total;
 }
 
@@ -235,11 +245,13 @@ FaultInjector::summary() const
     std::string out;
     char buf[96];
     for (std::uint32_t k = 0; k < kFaultKindCount; ++k) {
-        if (fired_[k] == 0)
+        const std::uint64_t count =
+            fired_[k].load(std::memory_order_relaxed);
+        if (count == 0)
             continue;
         std::snprintf(buf, sizeof(buf), "%s fired %llu times\n",
                       faultKindName(static_cast<FaultKind>(k)),
-                      static_cast<unsigned long long>(fired_[k]));
+                      static_cast<unsigned long long>(count));
         out += buf;
     }
     return out;

@@ -341,9 +341,14 @@ generateFaultFuzzCase(std::uint64_t seed)
           case FaultKind::DramStorm:
             event.magnitude = range(rng, 100, 1500);
             break;
+          case FaultKind::VttRevoke:
+            // Magnitude is the target SM id (single-owner consumption
+            // under the parallel SM phase); spread revocations across
+            // the chip instead of always hitting SM 0.
+            event.magnitude = rng.below(fuzz_case.gpu.numSms);
+            break;
           case FaultKind::IcntReorder:
           case FaultKind::BackupStall:
-          case FaultKind::VttRevoke:
           case FaultKind::LoadMonitorLie:
             event.magnitude = 0;
             break;

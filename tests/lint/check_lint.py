@@ -102,7 +102,8 @@ def run_tidy_backend(paths, plugin, clang_tidy):
         print("plugin %s not found" % plugin)
         return None
     config = ("{Checks: '-*,lbsim-*', CheckOptions: "
-              "[{key: lbsim-nondeterminism.ModelDirs, value: ''}]}")
+              "[{key: lbsim-nondeterminism.ModelDirs, value: ''}, "
+              "{key: lbsim-cross-domain.ModelDirs, value: ''}]}")
     out = []
     for path in paths:
         cmd = [clang_tidy, "--load", plugin, "--config", config,

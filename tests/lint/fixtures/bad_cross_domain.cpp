@@ -1,0 +1,38 @@
+// Fixture: raw concurrency primitives the lbsim-cross-domain check
+// must flag. Model code may synchronize only at the annotated
+// interconnect barrier (DESIGN.md §13); ad-hoc std:: primitives
+// reintroduce thread-count dependence that -Wthread-safety cannot see.
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <thread>
+
+struct ShardScratch
+{
+    std::atomic<unsigned> retired{0}; // EXPECT(lbsim-cross-domain)
+    std::mutex lock;                  // EXPECT(lbsim-cross-domain)
+};
+
+void
+tickAllSms(ShardScratch &scratch)
+{
+    std::thread worker([&scratch] { // EXPECT(lbsim-cross-domain)
+        scratch.retired.fetch_add(1);
+    });
+    std::atomic_thread_fence(std::memory_order_seq_cst); // EXPECT(lbsim-cross-domain)
+    worker.join();
+}
+
+int
+prefetchOffThread()
+{
+    auto pending = std::async([] { return 42; }); // EXPECT(lbsim-cross-domain)
+    return pending.get();
+}
+
+struct DrainGate
+{
+    std::condition_variable readyCv; // EXPECT(lbsim-cross-domain)
+    std::promise<void> drained;      // EXPECT(lbsim-cross-domain)
+};

@@ -1,0 +1,43 @@
+// Fixture: model-style code with no raw concurrency primitives; the
+// lbsim-cross-domain check must stay silent. Cross-SM traffic goes
+// through explicit per-SM staging lanes drained in SM-index order at
+// the serial barrier, so the model never touches std::thread or
+// std::atomic — the engine's worker pool lives outside model dirs.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+struct StagedRequest
+{
+    std::uint32_t smId = 0;
+    std::uint64_t addr = 0;
+};
+
+class StagingLanes
+{
+  public:
+    explicit StagingLanes(std::size_t sms) : lanes_(sms) {}
+
+    /** SM phase: each SM appends only to its own lane. */
+    void stage(const StagedRequest &req)
+    {
+        lanes_[req.smId].push_back(req);
+    }
+
+    /** Serial phase: drain lanes in SM-index order at the barrier. */
+    std::vector<StagedRequest> drainInOrder()
+    {
+        std::vector<StagedRequest> drained;
+        for (std::deque<StagedRequest> &lane : lanes_) {
+            for (const StagedRequest &req : lane)
+                drained.push_back(req);
+            lane.clear();
+        }
+        return drained;
+    }
+
+  private:
+    std::vector<std::deque<StagedRequest>> lanes_;
+};

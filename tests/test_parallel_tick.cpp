@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Parallel tick-engine tests (DESIGN.md §13).
+ *
+ * The headline property of the 16-SM scale-out is exact thread-count
+ * invariance: because every SM shard writes only its own state plus a
+ * single-producer interconnect staging lane drained in SM-index order at
+ * the barrier, simulated results must be bit-identical for any
+ * cfg.smThreads — not statistically close, byte-for-byte equal. These
+ * tests pin that across SM counts, schemes, fault plans and watchdog
+ * trips, and unit-test the worker-pool primitive itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+#include "harness/sim_runner.hpp"
+#include "workload/suite.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+RunnerOptions
+fastOptions(std::uint32_t sms, std::uint32_t sm_threads)
+{
+    RunnerOptions options;
+    options.simSms = sms;
+    options.smThreads = sm_threads;
+    options.maxCycles = 40000;
+    options.useMemoCache = false;
+    return options;
+}
+
+/** A seed-sensitive workload: irregular accesses flow from app.seed. */
+AppProfile
+irregularApp(std::uint64_t seed)
+{
+    AppProfile app;
+    app.id = "ptick-irr";
+    app.description = "parallel tick probe";
+    app.cacheSensitive = true;
+    LoadSpec load;
+    load.cls = LoadClass::Irregular;
+    load.lines = 512;
+    load.fanout = 2;
+    app.loads.push_back(load);
+    app.warpsPerCta = 4;
+    app.regsPerWarp = 16;
+    app.iterations = 2000;
+    app.ctasPerSmOfGrid = 8;
+    app.seed = seed;
+    return app;
+}
+
+/** Serialized stats of one run at the given (sms, threads) point. */
+std::string
+runAt(std::uint32_t sms, std::uint32_t sm_threads,
+      const SchemeConfig &scheme, SimStats *stats_out = nullptr)
+{
+    SimRunner runner({}, {}, fastOptions(sms, sm_threads));
+    const RunMetrics m = runner.run(irregularApp(7), scheme);
+    if (stats_out)
+        *stats_out = m.stats;
+    return serializeStats(m.stats);
+}
+
+// --- Thread-count invariance ----------------------------------------------
+
+class ParallelTickInvariance
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(ParallelTickInvariance, BaselineStatsAreThreadCountInvariant)
+{
+    const std::uint32_t sms = GetParam();
+    SimStats serial;
+    const std::string golden =
+        runAt(sms, 1, SchemeConfig::baseline(), &serial);
+    for (std::uint32_t threads : {2u, 4u}) {
+        SimStats parallel;
+        EXPECT_EQ(runAt(sms, threads, SchemeConfig::baseline(), &parallel),
+                  golden)
+            << sms << " SMs, " << threads << " threads, first diff: "
+            << firstStatDifference(serial, parallel);
+    }
+}
+
+TEST_P(ParallelTickInvariance, LinebackerStatsAreThreadCountInvariant)
+{
+    const std::uint32_t sms = GetParam();
+    SimStats serial;
+    const std::string golden =
+        runAt(sms, 1, SchemeConfig::linebacker(), &serial);
+    for (std::uint32_t threads : {2u, 4u}) {
+        SimStats parallel;
+        EXPECT_EQ(
+            runAt(sms, threads, SchemeConfig::linebacker(), &parallel),
+            golden)
+            << sms << " SMs, " << threads << " threads, first diff: "
+            << firstStatDifference(serial, parallel);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmCounts, ParallelTickInvariance,
+                         ::testing::Values(2u, 4u, 16u));
+
+TEST(ParallelTick, FaultedRunsAreThreadCountInvariant)
+{
+    // Fault hooks are queried from inside the SM phase (BackupStall,
+    // LoadMonitorLie, VttRevoke targets SM 1 via magnitude); the
+    // injected run must stay as replayable as a clean one.
+    FaultPlan plan;
+    plan.events.push_back({FaultKind::BackupStall, 5000, 2000, 0});
+    plan.events.push_back({FaultKind::LoadMonitorLie, 8000, 4000, 0});
+    plan.events.push_back({FaultKind::VttRevoke, 12000, 20000, 1});
+
+    std::vector<std::string> runs;
+    for (std::uint32_t threads : {1u, 2u, 4u}) {
+        RunnerOptions options = fastOptions(4, threads);
+        options.faultPlan = plan;
+        SimRunner runner({}, {}, options);
+        const RunMetrics m =
+            runner.run(irregularApp(7), SchemeConfig::linebacker());
+        runs.push_back(serializeStats(m.stats) + "#faults=" +
+                       std::to_string(m.faultsInjected));
+    }
+    EXPECT_EQ(runs[0], runs[1]);
+    EXPECT_EQ(runs[0], runs[2]);
+}
+
+// --- Watchdog under parallel tick -----------------------------------------
+
+TEST(ParallelTick, WedgeFiresWatchdogDeterministically)
+{
+    // Wedge the chip with a head-of-line-blocking response delay; the
+    // watchdog must trip at the same cycle with the same diagnosis
+    // whether the SMs tick serially or on 4 workers.
+    FaultPlan wedge;
+    wedge.events.push_back({FaultKind::IcntDelay, 2000, 400, 2000000});
+
+    std::vector<std::string> reports;
+    std::vector<std::string> stats;
+    for (std::uint32_t threads : {1u, 4u}) {
+        GpuConfig cfg;
+        cfg.watchdogCycles = 3000;
+        RunnerOptions options = fastOptions(4, threads);
+        options.faultPlan = wedge;
+        SimRunner runner(cfg, {}, options);
+        const RunMetrics m =
+            runner.run(irregularApp(7), SchemeConfig::baseline());
+        EXPECT_EQ(m.outcome, RunOutcome::Hang)
+            << threads << " threads: wedge did not trip the watchdog";
+        reports.push_back(m.hangReportJson);
+        stats.push_back(serializeStats(m.stats));
+    }
+    EXPECT_EQ(reports[0], reports[1]);
+    EXPECT_EQ(stats[0], stats[1]);
+}
+
+// --- Shard fold ------------------------------------------------------------
+
+TEST(ParallelTick, FoldShardStatsCoversEveryCounter)
+{
+    // foldShardStats must combine every enumerated counter: for each
+    // field, a shard carrying only that field must change the aggregate
+    // (sum and max folds both map 0 ⊕ 3 to 3, so one probe covers both
+    // semantics).
+    SimStats probe;
+    forEachStatField(probe, [&](const char *name, auto & /*field*/) {
+        SimStats into;
+        SimStats shard;
+        forEachStatField(shard, [&](const char *shard_name, auto &f) {
+            if (std::string(shard_name) == name)
+                f = static_cast<std::decay_t<decltype(f)>>(3);
+        });
+        foldShardStats(into, shard);
+        const std::string diff = firstStatDifference(into, SimStats{});
+        EXPECT_EQ(diff.rfind(std::string(name) + ":", 0), 0u)
+            << "folding a shard with only " << name
+            << " set produced aggregate diff '" << diff << "'";
+    });
+}
+
+TEST(ParallelTick, FoldShardStatsSumsAndMaxes)
+{
+    SimStats into;
+    into.instructionsIssued = 10;
+    into.monitoringPeriods = 5;
+    into.selectedLoads = 7;
+    SimStats shard;
+    shard.instructionsIssued = 4;
+    shard.monitoringPeriods = 3;   // below current max: keep 5
+    shard.selectedLoads = 9;       // above current max: take 9
+    foldShardStats(into, shard);
+    EXPECT_EQ(into.instructionsIssued, 14u);
+    EXPECT_EQ(into.monitoringPeriods, 5u);
+    EXPECT_EQ(into.selectedLoads, 9u);
+}
+
+// --- Worker pool (unit) ----------------------------------------------------
+
+TEST(SmWorkerPool, RunsEveryShardExactlyOnce)
+{
+    for (unsigned threads : {1u, 2u, 3u, 8u}) {
+        constexpr std::size_t kShards = 16;
+        std::vector<std::atomic<int>> hits(kShards);
+        SmWorkerPool pool(threads, kShards);
+        for (int round = 0; round < 50; ++round) {
+            pool.run([&](std::size_t s) {
+                hits[s].fetch_add(1, std::memory_order_relaxed);
+            });
+        }
+        for (std::size_t s = 0; s < kShards; ++s)
+            EXPECT_EQ(hits[s].load(), 50) << threads << "t shard " << s;
+    }
+}
+
+TEST(SmWorkerPool, ClampsThreadsToShardCount)
+{
+    SmWorkerPool pool(64, 2);
+    EXPECT_EQ(pool.threads(), 2u);
+    SmWorkerPool serial(0, 4);
+    EXPECT_EQ(serial.threads(), 1u);
+}
+
+TEST(SmWorkerPool, PropagatesShardExceptionsAfterTheBarrier)
+{
+    // Check-failure handlers throw in tests; the pool must surface the
+    // exception on the calling thread and stay usable afterwards.
+    SmWorkerPool pool(4, 8);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.run([](std::size_t s) {
+                         if (s == 5)
+                             throw std::runtime_error("shard 5");
+                     }),
+                     std::runtime_error);
+        std::atomic<int> ok{0};
+        pool.run([&](std::size_t) {
+            ok.fetch_add(1, std::memory_order_relaxed);
+        });
+        EXPECT_EQ(ok.load(), 8);
+    }
+}
+
+} // namespace
+} // namespace lbsim

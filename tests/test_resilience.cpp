@@ -162,11 +162,26 @@ TEST(FaultInjectorTest, VttRevokeIsConsumedOncePerEvent)
     FaultPlan plan;
     plan.events.push_back({FaultKind::VttRevoke, 10, 20, 0});
     FaultInjector injector(plan);
-    EXPECT_FALSE(injector.takeVttRevoke(9));
-    EXPECT_TRUE(injector.takeVttRevoke(15));
+    EXPECT_FALSE(injector.takeVttRevoke(9, 0));
+    EXPECT_TRUE(injector.takeVttRevoke(15, 0));
     // Consumed: the same event never fires again inside its window.
-    EXPECT_FALSE(injector.takeVttRevoke(16));
-    EXPECT_FALSE(injector.takeVttRevoke(29));
+    EXPECT_FALSE(injector.takeVttRevoke(16, 0));
+    EXPECT_FALSE(injector.takeVttRevoke(29, 0));
+    EXPECT_EQ(injector.firedCount(FaultKind::VttRevoke), 1u);
+}
+
+TEST(FaultInjectorTest, VttRevokeIsBoundToItsTargetSm)
+{
+    // magnitude names the target SM: only that SM's tick shard may
+    // consume the event (the single-owner rule the parallel SM phase
+    // depends on).
+    FaultPlan plan;
+    plan.events.push_back({FaultKind::VttRevoke, 10, 20, 3});
+    FaultInjector injector(plan);
+    EXPECT_FALSE(injector.takeVttRevoke(15, 0));
+    EXPECT_FALSE(injector.takeVttRevoke(15, 2));
+    EXPECT_TRUE(injector.takeVttRevoke(15, 3));
+    EXPECT_FALSE(injector.takeVttRevoke(16, 3));
     EXPECT_EQ(injector.firedCount(FaultKind::VttRevoke), 1u);
 }
 
@@ -177,7 +192,7 @@ TEST(FaultInjectorTest, UnarmedInjectorIsInert)
     EXPECT_EQ(injector.icntResponseDelay(0), 0u);
     EXPECT_EQ(injector.dramStormDelay(0), 0u);
     EXPECT_FALSE(injector.backupStallActive(0));
-    EXPECT_FALSE(injector.takeVttRevoke(0));
+    EXPECT_FALSE(injector.takeVttRevoke(0, 0));
     EXPECT_EQ(injector.totalFired(), 0u);
     EXPECT_TRUE(injector.summary().empty());
 }

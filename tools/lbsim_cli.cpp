@@ -49,6 +49,8 @@ usage()
         "  --list               list the 20 Table-2 applications\n"
         "  --warp-limit <n>     static warp limit for best-swl\n"
         "  --sms <n>            SMs to simulate (default 2, scaled chip)\n"
+        "  --sm-threads <n>     worker threads for the parallel SM tick\n"
+        "                       phase (default 1; bit-identical results)\n"
         "  --cycles <n>         measured cycles (default 400000)\n"
         "  --warmup <n>         warm-up cycles (default 200000)\n"
         "  --l1-kb <n>          L1 size in KB (default 48)\n"
@@ -160,6 +162,9 @@ main(int argc, char **argv)
     options.maxCycles = 400000;
     if (const char *v = arg(argc, argv, "--sms"))
         options.simSms = static_cast<std::uint32_t>(
+            std::strtoul(v, nullptr, 10));
+    if (const char *v = arg(argc, argv, "--sm-threads"))
+        options.smThreads = static_cast<std::uint32_t>(
             std::strtoul(v, nullptr, 10));
     if (const char *v = arg(argc, argv, "--cycles"))
         options.maxCycles = std::strtoull(v, nullptr, 10);

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * lbsim-cross-domain: flag raw concurrency primitives in model code.
+ *
+ * The parallel tick engine (DESIGN.md §13) shards the chip per SM:
+ * each SM owns its state for the SM phase of a cycle, and the only
+ * cross-SM channel is the interconnect's staged per-SM lane, drained
+ * in SM-index order at the barrier. That discipline is what makes
+ * results bit-identical for every --sm-threads value, and it is proved
+ * by clang's -Wthread-safety over the SeqDomain/Mutex capability
+ * annotations (common/thread_safety.hpp).
+ *
+ * Raw std:: concurrency primitives in model code bypass that proof:
+ * an ad-hoc std::atomic or std::mutex synchronizes outside the
+ * annotated barrier points and silently reintroduces thread-count
+ * dependence. This check rejects:
+ *
+ *  - declarations (locals, members, params) of std::thread, mutexes,
+ *    condition variables, atomics, futures/promises, barriers/latches/
+ *    semaphores
+ *  - calls to std::async and std::atomic_{thread,signal}_fence
+ *
+ * Engine code (common/parallel.hpp, the harness worker pools) lives
+ * outside ModelDirs and may use these freely.
+ *
+ * Scope: files under the ModelDirs option (default
+ * "src/core,src/mem,src/lb,src/baselines,src/power"); an empty option
+ * value means every file, which is what the fixture corpus uses.
+ *
+ * The portable twin of this check lives in tools/lint/lbsim_lint.py;
+ * keep the two behaviourally aligned (the fixtures in tests/lint/ are
+ * run against both backends).
+ */
+
+#pragma once
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace lbsim_tidy
+{
+
+class CrossDomainCheck : public clang::tidy::ClangTidyCheck
+{
+  public:
+    CrossDomainCheck(llvm::StringRef name,
+                     clang::tidy::ClangTidyContext *context);
+
+    void registerMatchers(clang::ast_matchers::MatchFinder *finder) override;
+    void
+    check(const clang::ast_matchers::MatchFinder::MatchResult &result)
+        override;
+    void storeOptions(clang::tidy::ClangTidyOptions::OptionMap &opts)
+        override;
+
+  private:
+    bool inModelDirs(clang::SourceLocation loc,
+                     const clang::SourceManager &sm) const;
+
+    /** Comma-separated dir prefixes; empty = every file. */
+    std::string model_dirs_;
+    std::vector<std::string> model_dir_list_;
+};
+
+} // namespace lbsim_tidy

@@ -16,6 +16,7 @@
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
+#include "CrossDomainCheck.h"
 #include "NondeterminismCheck.h"
 #include "StatRegistryCheck.h"
 #include "UninitFieldCheck.h"
@@ -35,6 +36,7 @@ class LbsimTidyModule : public clang::tidy::ClangTidyModule
         factories.registerCheck<UninitFieldCheck>("lbsim-uninit-field");
         factories.registerCheck<StatRegistryCheck>(
             "lbsim-stat-registry");
+        factories.registerCheck<CrossDomainCheck>("lbsim-cross-domain");
     }
 };
 

@@ -25,6 +25,14 @@ lbsim-stat-registry (everywhere):
   * fields of *Stats structs missing from the forEachStatField
     visitor in the same file (the single enumeration that the memo
     cache, serializeStats and firstStatDifference all walk)
+lbsim-cross-domain (model dirs only, see --model-dirs):
+  * raw concurrency primitives (std::thread, std::mutex, std::atomic,
+    std::condition_variable, std::async, ...) declared or used in
+    model code. Model state is sharded into per-SM tick domains that
+    synchronize only at the annotated interconnect barrier
+    (SeqDomain/Mutex capabilities + the common/parallel.hpp pool);
+    ad-hoc primitives bypass that proof and invite cross-domain
+    access the -Wthread-safety analysis cannot see
 
 Suppression: a `// NOLINT` or `// NOLINT(check-name)` comment on the
 flagged line, or `// NOLINTNEXTLINE[(check-name)]` on the line before.
@@ -41,7 +49,8 @@ import sys
 NONDET = "lbsim-nondeterminism"
 UNINIT = "lbsim-uninit-field"
 REGISTRY = "lbsim-stat-registry"
-ALL_CHECKS = (NONDET, UNINIT, REGISTRY)
+CROSSDOMAIN = "lbsim-cross-domain"
+ALL_CHECKS = (NONDET, UNINIT, REGISTRY, CROSSDOMAIN)
 
 DEFAULT_MODEL_DIRS = "src/core,src/mem,src/lb,src/baselines,src/power"
 
@@ -85,6 +94,22 @@ MUTATION_RES = (
         r"\b(printf|fprintf|snprintf|sprintf|puts|fputs|logMessage|panic|"
         r"fatal|LB_AUDIT|LB_ASSERT|LB_INVARIANT|LBSIM_WARN|LBSIM_INFORM)"
         r"\s*\("),
+)
+
+# --- raw concurrency primitives in model code -------------------------------
+
+CROSS_DOMAIN_TYPES = (
+    "thread", "jthread", "mutex", "recursive_mutex", "timed_mutex",
+    "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+    "condition_variable", "condition_variable_any", "atomic",
+    "atomic_flag", "future", "shared_future", "promise", "barrier",
+    "latch", "counting_semaphore", "binary_semaphore",
+)
+CROSS_DOMAIN_TYPE_RE = re.compile(
+    r"\bstd\s*::\s*(" + "|".join(CROSS_DOMAIN_TYPES) + r")\b"
+)
+CROSS_DOMAIN_CALL_RE = re.compile(
+    r"\bstd\s*::\s*(async|atomic_thread_fence|atomic_signal_fence)\s*\("
 )
 
 SCALAR_TYPE_RE = re.compile(
@@ -283,6 +308,22 @@ def check_nondet(path, clean, raw_lines, unordered_names, findings):
                          % (name, name), raw_lines)
 
 
+def check_cross_domain(path, clean, raw_lines, findings):
+    for m in CROSS_DOMAIN_TYPE_RE.finditer(clean):
+        findings.add(path, line_of(clean, m.start()), CROSSDOMAIN,
+                     "raw std::%s in model code; per-SM tick domains may "
+                     "synchronize only at the annotated interconnect "
+                     "barrier — use the SeqDomain/Mutex capabilities and "
+                     "the common/parallel.hpp pool so -Wthread-safety "
+                     "can prove the sharding" % m.group(1), raw_lines)
+    for m in CROSS_DOMAIN_CALL_RE.finditer(clean):
+        findings.add(path, line_of(clean, m.start()), CROSSDOMAIN,
+                     "std::%s in model code bypasses the tick-domain "
+                     "barrier discipline; cross-domain work belongs in "
+                     "the serial phase or behind an annotated capability"
+                     % m.group(1), raw_lines)
+
+
 def struct_blocks(clean):
     """Yield (name, body_text, body_start_pos) for suffix-matched
     structs, with nested function bodies blanked out."""
@@ -443,6 +484,8 @@ def main(argv):
             for d in model_dirs)
         if NONDET in checks and in_model:
             check_nondet(path, clean, raw_lines, unordered_names, findings)
+        if CROSSDOMAIN in checks and in_model:
+            check_cross_domain(path, clean, raw_lines, findings)
         if UNINIT in checks:
             check_uninit(path, clean, raw_lines, findings)
         if REGISTRY in checks:
