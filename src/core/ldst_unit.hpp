@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "core/kernel.hpp"
 #include "core/warp.hpp"
@@ -63,6 +63,22 @@ class LdstUnit
     /** Outstanding queued accesses (structural-hazard visibility). */
     std::size_t queued() const { return queue_.size(); }
 
+    /**
+     * True if the queued head access would be accepted by the L1 this
+     * cycle. While this is false the unit's tick is a pure retry with
+     * no side effects, so the tick-skip engine may idle past it. The
+     * stall decision is bypass-independent (bypassed misses follow the
+     * same MSHR/credit path), so the head's bypass flag is irrelevant.
+     */
+    bool
+    headWouldProgress() const
+    {
+        if (queue_.empty())
+            return false;
+        const QueuedAccess &head = queue_.front();
+        return !l1_->wouldStall(head.lineAddr, head.isWrite);
+    }
+
     /** In-flight load accesses awaiting data. */
     std::size_t inFlight() const { return pending_.size(); }
 
@@ -95,7 +111,7 @@ class LdstUnit
     };
 
     /** accessId -> issuing warp and timestamp, for load completions. */
-    std::unordered_map<std::uint64_t, PendingLoad> pending_;
+    FlatMap<std::uint64_t, PendingLoad> pending_;
     std::vector<std::uint64_t> completedScratch_;
 };
 

@@ -9,30 +9,4 @@ GtoScheduler::GtoScheduler(std::uint32_t scheduler_id,
 {
 }
 
-std::int32_t
-GtoScheduler::pick(const std::vector<Warp> &warps,
-                   const std::function<bool(const Warp &)> &can_issue)
-{
-    // Greedy: stick with the last-issued warp while it stays ready.
-    if (lastIssued_ >= 0 &&
-        static_cast<std::size_t>(lastIssued_) < warps.size() &&
-        can_issue(warps[static_cast<std::size_t>(lastIssued_)])) {
-        return lastIssued_;
-    }
-
-    // Then-oldest: earliest launch order among this stripe's ready warps.
-    std::int32_t best = -1;
-    std::uint64_t best_order = ~0ull;
-    for (std::uint32_t slot = id_; slot < warps.size(); slot += stride_) {
-        const Warp &warp = warps[slot];
-        if (!can_issue(warp))
-            continue;
-        if (warp.launchOrder < best_order) {
-            best_order = warp.launchOrder;
-            best = static_cast<std::int32_t>(slot);
-        }
-    }
-    return best;
-}
-
 } // namespace lbsim

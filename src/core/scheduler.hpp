@@ -11,7 +11,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/types.hpp"
@@ -33,13 +32,51 @@ class GtoScheduler
     /**
      * Pick the warp slot to issue this cycle.
      *
+     * Templated over the predicate so the per-warp check inlines into
+     * the scan — this runs for every scheduler every cycle over every
+     * warp slot, and a type-erased std::function call per slot was one
+     * of the largest line items in compute-bound profiles.
+     *
      * @param warps All warp slots of the SM.
+     * @param order This stripe's resident warp slots in ascending
+     *        launch order (Sm::schedOrder_). Scanning it in sequence
+     *        and stopping at the first ready warp selects exactly the
+     *        min-launch-order ready warp — launch orders are unique —
+     *        without evaluating the predicate on the rest of the
+     *        stripe, which is the win: after a typical issue the warp
+     *        stalls, the greedy probe misses, and the old full-stripe
+     *        min-scan paid the predicate on every slot every cycle.
      * @param can_issue Predicate combining warp state, dependence and
      *        controller gating.
      * @return Selected slot or -1 if none is ready.
      */
-    std::int32_t pick(const std::vector<Warp> &warps,
-                      const std::function<bool(const Warp &)> &can_issue);
+    template <typename CanIssue>
+    std::int32_t
+    pick(const std::vector<Warp> &warps,
+         const std::vector<std::uint32_t> &order,
+         const CanIssue &can_issue)
+    {
+        // Greedy: stick with the last-issued warp while it stays ready.
+        if (lastIssued_ >= 0 &&
+            static_cast<std::size_t>(lastIssued_) < warps.size() &&
+            can_issue(warps[static_cast<std::size_t>(lastIssued_)])) {
+            return lastIssued_;
+        }
+
+        // Then-oldest: first ready warp in launch order.
+        for (std::uint32_t slot : order) {
+            if (can_issue(warps[slot]))
+                return static_cast<std::int32_t>(slot);
+        }
+        return -1;
+    }
+
+    /** True if warp @p slot belongs to this scheduler's stripe. */
+    bool
+    covers(std::uint32_t slot) const
+    {
+        return slot % stride_ == id_;
+    }
 
     /** Record that @p slot issued (greedy pointer update). */
     void issued(std::uint32_t slot) { lastIssued_ = static_cast<std::int32_t>(slot); }

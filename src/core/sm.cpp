@@ -1,7 +1,6 @@
 #include "core/sm.hpp"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "common/check.hpp"
 #include "common/log.hpp"
@@ -20,8 +19,12 @@ Sm::Sm(const GpuConfig &cfg, std::uint32_t sm_id, Interconnect *icnt,
 {
     for (std::uint32_t s = 0; s < cfg.schedulersPerSm; ++s)
         schedulers_.emplace_back(s, cfg.schedulersPerSm);
+    schedOrder_.resize(schedulers_.size());
+    for (auto &order : schedOrder_)
+        order.reserve(warps_.size() / schedulers_.size() + 1);
     for (std::uint32_t slot = 0; slot < warps_.size(); ++slot)
         warps_[slot].smWarpId = slot;
+    freeWarpSlots_ = static_cast<std::uint32_t>(warps_.size());
     for (std::uint32_t slot = 0; slot < ctas_.size(); ++slot)
         ctas_[slot].hwId = slot;
     if (cerf_unified)
@@ -38,24 +41,16 @@ Sm::setKernel(const KernelInfo *kernel)
 bool
 Sm::canLaunchCta() const
 {
+    // O(1) via the incrementally maintained mirrors: this runs every
+    // cycle from the dispatcher and the tick-skip probe, and the slot
+    // scans it replaced were one of the largest profile lines.
     if (!kernel_)
         return false;
-    std::uint32_t free_warp_slots = 0;
-    for (const Warp &warp : warps_)
-        free_warp_slots += warp.valid ? 0 : 1;
-    if (free_warp_slots < kernel_->warpsPerCta)
+    if (freeWarpSlots_ < kernel_->warpsPerCta)
         return false;
-    std::uint32_t resident = 0;
-    std::uint32_t shared_used = 0;
-    for (const Cta &cta : ctas_) {
-        if (cta.valid) {
-            ++resident;
-            shared_used += kernel_->sharedMemPerCta;
-        }
-    }
-    if (resident >= cfg_.maxCtasPerSm)
+    if (residentCtas_ >= cfg_.maxCtasPerSm)
         return false;
-    if (shared_used + kernel_->sharedMemPerCta >
+    if ((residentCtas_ + 1) * kernel_->sharedMemPerCta >
         cfg_.sharedMemBytesPerSm) {
         return false;
     }
@@ -101,8 +96,13 @@ Sm::launchCta(std::uint32_t global_cta_id, Cycle now)
         warp.warpInCta = assigned;
         warp.globalCtaId = global_cta_id;
         warp.launchOrder = launchCounter_++;
+        schedOrder_[warp.smWarpId % schedulers_.size()].push_back(
+            warp.smWarpId);
         warp.pcIndex = 0;
         warp.iteration = 0;
+        warp.waitsOnLoads = kernel_->body[0].dependsOnLoads;
+        warp.memNext = kernel_->body[0].op == Opcode::Load ||
+                       kernel_->body[0].op == Opcode::Store;
         warp.outstandingLoads = 0;
         warp.readyAt = now;
         slot->warpSlots.push_back(warp.smWarpId);
@@ -111,6 +111,10 @@ Sm::launchCta(std::uint32_t global_cta_id, Cycle now)
     }
     if (assigned != kernel_->warpsPerCta)
         panic("CTA launch found fewer warp slots than canLaunchCta()");
+
+    freeWarpSlots_ -= kernel_->warpsPerCta;
+    ++residentCtas_;
+    occActiveRegs_ += slot->numRegs;
 
     if (controller_)
         controller_->onCtaLaunched(*this, *slot, now);
@@ -124,6 +128,15 @@ Sm::setCtaActive(std::uint32_t cta_hw_id, bool active, Cycle now)
     Cta &cta = ctas_[cta_hw_id];
     if (!cta.valid)
         panic("setCtaActive on invalid CTA slot %u", cta_hw_id);
+    if (cta.active != active) {
+        if (active) {
+            occActiveRegs_ += cta.numRegs;
+            occDurRegs_ -= cta.numRegs;
+        } else {
+            occActiveRegs_ -= cta.numRegs;
+            occDurRegs_ += cta.numRegs;
+        }
+    }
     cta.active = active;
     for (std::uint32_t warp_slot : cta.warpSlots)
         warps_[warp_slot].active = active;
@@ -179,13 +192,10 @@ Sm::canIssue(const Warp &warp, Cycle now) const
 {
     if (!warp.issuable(now))
         return false;
-    const StaticInst &inst = kernel_->body[warp.pcIndex];
-    if (inst.dependsOnLoads && warp.outstandingLoads > 0)
+    if (warp.waitsOnLoads && warp.outstandingLoads > 0)
         return false;
-    if ((inst.op == Opcode::Load || inst.op == Opcode::Store) &&
-        !ldst_.canAccept()) {
+    if (warp.memNext && !ldst_.canAccept())
         return false;
-    }
     if (controller_ && !controller_->warpMayIssue(*this, warp))
         return false;
     return true;
@@ -237,14 +247,22 @@ Sm::issueWarp(Warp &warp, Cycle now)
         warp.pcIndex = 0;
         if (++warp.iteration == kernel_->iterations) {
             warp.finished = true;
-            ++ctas_[warp.ctaHwId].warpsFinished;
+            Cta &cta = ctas_[warp.ctaHwId];
+            if (++cta.warpsFinished == cta.warpSlots.size())
+                ++finishedCtas_;
         }
     }
+    const StaticInst &next = kernel_->body[warp.pcIndex];
+    warp.waitsOnLoads = next.dependsOnLoads;
+    warp.memNext =
+        next.op == Opcode::Load || next.op == Opcode::Store;
 }
 
 void
 Sm::retireFinishedCtas(Cycle now)
 {
+    if (finishedCtas_ == 0)
+        return; // Nothing finished since the last retirement pass.
     for (Cta &cta : ctas_) {
         if (!cta.valid || !cta.finished())
             continue;
@@ -259,10 +277,21 @@ Sm::retireFinishedCtas(Cycle now)
         if (!drained)
             continue;
 
-        for (std::uint32_t warp_slot : cta.warpSlots)
+        for (std::uint32_t warp_slot : cta.warpSlots) {
             warps_[warp_slot].valid = false;
+            std::vector<std::uint32_t> &order =
+                schedOrder_[warp_slot % schedulers_.size()];
+            order.erase(std::find(order.begin(), order.end(), warp_slot));
+        }
         rf_.release(cta.firstRegNum, cta.numRegs);
         cta.valid = false;
+        freeWarpSlots_ += static_cast<std::uint32_t>(cta.warpSlots.size());
+        --residentCtas_;
+        --finishedCtas_;
+        if (cta.active)
+            occActiveRegs_ -= cta.numRegs;
+        else
+            occDurRegs_ -= cta.numRegs;
         ++stats_->ctasCompleted;
         if (controller_)
             controller_->onCtaCompleted(*this, cta, now);
@@ -284,8 +313,10 @@ Sm::tick(Cycle now)
     const auto can_issue = [this, now](const Warp &warp) {
         return canIssue(warp, now);
     };
-    for (GtoScheduler &sched : schedulers_) {
-        const std::int32_t slot = sched.pick(warps_, can_issue);
+    for (std::size_t i = 0; i < schedulers_.size(); ++i) {
+        GtoScheduler &sched = schedulers_[i];
+        const std::int32_t slot = sched.pick(warps_, schedOrder_[i],
+                                             can_issue);
         if (slot < 0)
             continue;
         issueWarp(warps_[static_cast<std::uint32_t>(slot)], now);
@@ -294,20 +325,104 @@ Sm::tick(Cycle now)
 
     retireFinishedCtas(now);
 
-    // Register occupancy accounting (Figs 4 and 9).
-    std::uint32_t active_regs = 0;
-    std::uint32_t dur_regs = 0;
-    for (const Cta &cta : ctas_) {
-        if (!cta.valid)
-            continue;
-        if (cta.active)
-            active_regs += cta.numRegs;
-        else
-            dur_regs += cta.numRegs;
-    }
-    activeRegAccum_ += active_regs;
-    durRegAccum_ += dur_regs;
+    // Register occupancy accounting (Figs 4 and 9), from the O(1)
+    // mirrors instead of a per-cycle CTA-table scan.
+    activeRegAccum_ += occActiveRegs_;
+    durRegAccum_ += occDurRegs_;
     surRegAccum_ += rf_.totalRegs() - rf_.allocatedRegs();
+}
+
+Cycle
+Sm::nextEventCycle(Cycle now) const
+{
+    // Mirrors tick() stage by stage: controller, LDST/L1, issue,
+    // retirement. Any stage that could act this cycle returns now.
+    Cycle bound = kNoCycle;
+
+    if (controller_) {
+        const Cycle at = controller_->nextEventCycle(*this, now);
+        if (at <= now)
+            return now;
+        if (at < bound)
+            bound = at;
+    }
+
+    // LDST completions drain from the L1's min-ordered queue.
+    const Cycle completion = l1_->nextCompletionCycle();
+    if (completion <= now)
+        return now;
+    if (completion < bound)
+        bound = completion;
+
+    // A queued head the L1 would accept makes the LDST tick effectful;
+    // a stalled head is a pure retry (no side effects, inputs frozen
+    // while the chip idles), so it imposes no bound of its own.
+    if (ldst_.headWouldProgress())
+        return now;
+
+    // CTA retirement acts as soon as a finished CTA's loads drained.
+    if (finishedCtas_ != 0) {
+        for (const Cta &cta : ctas_) {
+            if (!cta.valid || !cta.finished())
+                continue;
+            bool drained = true;
+            for (std::uint32_t warp_slot : cta.warpSlots) {
+                if (warps_[warp_slot].outstandingLoads != 0) {
+                    drained = false;
+                    break;
+                }
+            }
+            if (drained)
+                return now; // retireFinishedCtas() would fire.
+            // Not drained: wakes via a load completion (bounded above).
+        }
+    }
+
+    // Issue stage: replicate canIssue()'s checks per warp. Warps whose
+    // block only lifts via a memory event (load completion, queue
+    // drain) or a controller action need no bound of their own — those
+    // events are bounded above or arrive from the crossbar.
+    for (const Warp &warp : warps_) {
+        if (!warp.valid || !warp.active || warp.finished)
+            continue;
+        if (warp.readyAt > now) {
+            if (warp.readyAt < bound)
+                bound = warp.readyAt;
+            continue;
+        }
+        if (warp.waitsOnLoads && warp.outstandingLoads > 0)
+            continue;
+        if (warp.memNext && !ldst_.canAccept())
+            continue;
+        if (controller_ && !controller_->warpMayIssue(*this, warp))
+            continue; // Gate state only moves at the controller bound.
+        return now; // A scheduler would issue this warp.
+    }
+
+    return bound;
+}
+
+void
+Sm::applySkippedCycles(Cycle cycles)
+{
+    // Every skipped tick would have reset the register-file bank-use
+    // counters (rf_.beginCycle). The reset is visible across phases:
+    // CERF's fill-path bank charges run in the interconnect phase and
+    // read the residue of the previous cycle's operand accesses, so a
+    // fill landing at the wake cycle must see the same clean state the
+    // per-cycle resets would have left (one reset equals many).
+    rf_.beginCycle(0);
+
+    // Mirror of tick()'s occupancy accounting, multiplied out. Every
+    // accumulator holds integer-valued doubles far below 2^53, so the
+    // multiply-add is bit-identical to `cycles` repeated additions.
+    activeRegAccum_ += static_cast<double>(occActiveRegs_) * cycles;
+    durRegAccum_ += static_cast<double>(occDurRegs_) * cycles;
+    surRegAccum_ +=
+        static_cast<double>(rf_.totalRegs() - rf_.allocatedRegs()) *
+        cycles;
+    if (controller_)
+        controller_->onCyclesSkipped(*this, cycles);
 }
 
 void
@@ -358,11 +473,7 @@ Sm::resetOccupancyAccumulators()
 bool
 Sm::idle() const
 {
-    for (const Cta &cta : ctas_) {
-        if (cta.valid)
-            return false;
-    }
-    return true;
+    return residentCtas_ == 0;
 }
 
 void
@@ -423,10 +534,75 @@ Sm::audit(Cycle now) const
                      ctas_[warp.ctaHwId].valid,
                  "valid warp slot %u belongs to invalid CTA %u",
                  warp.smWarpId, warp.ctaHwId);
+        if (kernel_) {
+            // The decode cache must mirror the body at pcIndex — the
+            // issue scans trust it instead of re-reading the kernel.
+            const StaticInst &inst = kernel_->body[warp.pcIndex];
+            LB_AUDIT(warp.waitsOnLoads == inst.dependsOnLoads &&
+                         warp.memNext == (inst.op == Opcode::Load ||
+                                          inst.op == Opcode::Store),
+                     "warp slot %u decode cache (loads=%d mem=%d) "
+                     "disagrees with body[%u]",
+                     warp.smWarpId, warp.waitsOnLoads ? 1 : 0,
+                     warp.memNext ? 1 : 0, warp.pcIndex);
+        }
     }
     LB_AUDIT(warps_valid == warps_expected,
              "%u valid warps but CTA tables reference %u", warps_valid,
              warps_expected);
+
+    // The O(1) mirrors must track the tables they summarize.
+    std::uint32_t resident = 0;
+    std::uint32_t finished = 0;
+    std::uint32_t active_regs = 0;
+    std::uint32_t dur_regs = 0;
+    for (const Cta &cta : ctas_) {
+        if (!cta.valid)
+            continue;
+        ++resident;
+        finished += cta.finished() ? 1 : 0;
+        if (cta.active)
+            active_regs += cta.numRegs;
+        else
+            dur_regs += cta.numRegs;
+    }
+    LB_AUDIT(residentCtas_ == resident && finishedCtas_ == finished,
+             "CTA mirrors resident=%u finished=%u but tables say %u/%u",
+             residentCtas_, finishedCtas_, resident, finished);
+    LB_AUDIT(occActiveRegs_ == active_regs && occDurRegs_ == dur_regs,
+             "occupancy mirrors %u/%u but CTA tables say %u/%u",
+             occActiveRegs_, occDurRegs_, active_regs, dur_regs);
+    LB_AUDIT(freeWarpSlots_ ==
+                 static_cast<std::uint32_t>(warps_.size()) - warps_valid,
+             "free-warp mirror %u but %zu slots hold %u valid warps",
+             freeWarpSlots_, warps_.size(), warps_valid);
+
+    // Scheduler stripe lists: exactly the valid warps of each stripe,
+    // in strictly ascending launch order (pick() relies on the order
+    // to early-exit at the oldest ready warp).
+    std::uint32_t listed = 0;
+    for (std::size_t s = 0; s < schedOrder_.size(); ++s) {
+        std::uint64_t prev_order = 0;
+        bool first = true;
+        for (std::uint32_t slot : schedOrder_[s]) {
+            ++listed;
+            LB_AUDIT(slot < warps_.size() && warps_[slot].valid,
+                     "scheduler %zu stripe lists invalid warp slot %u",
+                     s, slot);
+            LB_AUDIT(schedulers_[s].covers(slot),
+                     "scheduler %zu stripe lists foreign warp slot %u",
+                     s, slot);
+            LB_AUDIT(first || warps_[slot].launchOrder > prev_order,
+                     "scheduler %zu stripe out of launch order at slot "
+                     "%u",
+                     s, slot);
+            prev_order = warps_[slot].launchOrder;
+            first = false;
+        }
+    }
+    LB_AUDIT(listed == warps_valid,
+             "scheduler stripes list %u warps but %u are valid", listed,
+             warps_valid);
 }
 
 std::string

@@ -97,6 +97,47 @@ class SmControllerIf
         (void)now;
     }
 
+    // --- Tick-skip contract (see GpuConfig::tickSkip) -------------------
+
+    /**
+     * Earliest future cycle at which this controller's onCycle() could
+     * do anything, or @p now if it must run every cycle. The default is
+     * the conservative @p now — unknown controllers never allow a skip.
+     * Implementations must return a bound that holds while the SM's
+     * state is otherwise frozen (no issue, no memory event).
+     */
+    virtual Cycle
+    nextEventCycle(const Sm &sm, Cycle now) const
+    {
+        (void)sm;
+        return now;
+    }
+
+    /**
+     * Replay the per-cycle accumulator effects of @p cycles skipped
+     * onCycle() calls (called only for cycles nextEventCycle() proved
+     * effect-free, so most controllers have nothing to do).
+     */
+    virtual void onCyclesSkipped(Sm &sm, Cycle cycles)
+    {
+        (void)sm;
+        (void)cycles;
+    }
+
+    /**
+     * True if the dispatcher calling onSchedulingOpportunity() for this
+     * SM could have an effect right now. Gates tick-skip across cycles
+     * where a CTA slot is open but the dispatcher is drained: the
+     * opportunity callback may still act (e.g.\ Linebacker reactivating
+     * a throttled CTA). Conservative default: assume it would.
+     */
+    virtual bool
+    wantsSchedulingOpportunity(const Sm &sm) const
+    {
+        (void)sm;
+        return true;
+    }
+
     /** One-line state summary for hang reports (empty = nothing). */
     virtual std::string statusString() const { return {}; }
 };
@@ -142,6 +183,25 @@ class Sm : public ResponseSinkIf
 
     /** Advance one core cycle. */
     void tick(Cycle now);
+
+    /**
+     * Earliest future cycle at which ticking this SM could have any
+     * effect — an instruction issue, a memory event, a CTA retirement,
+     * or a controller action — or kNoCycle when only an external event
+     * (a response from the crossbar, a dispatcher launch) can wake it.
+     * Returns @p now when the SM must be ticked for real. Used by the
+     * tick-skip engine; must stay in lockstep with tick().
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Replay the per-cycle occupancy accounting for @p cycles skipped
+     * ticks (the accumulators integrate over every cycle, effectful or
+     * not) and forward to the controller's onCyclesSkipped(). All
+     * accumulators hold integer-valued doubles far below 2^53, so the
+     * multiply-add is bit-identical to @p cycles repeated additions.
+     */
+    void applySkippedCycles(Cycle cycles);
 
     /** ResponseSinkIf: route fills and restore data. */
     void onResponse(const MemResponse &response, Cycle now) override;
@@ -223,6 +283,28 @@ class Sm : public ResponseSinkIf
     std::uint64_t issued_ = 0;
     std::uint64_t launchCounter_ = 0;
     std::vector<Addr> lineScratch_;
+
+    /**
+     * Per-scheduler resident warp slots in ascending launch order —
+     * the stripe each GtoScheduler::pick() scans. Launch orders are
+     * assigned from a monotonic counter, so appending at CTA launch
+     * keeps each list sorted; retirement erases the CTA's slots. The
+     * sorted order lets pick() stop at the first ready warp instead
+     * of evaluating the whole stripe per cycle.
+     */
+    std::vector<std::vector<std::uint32_t>> schedOrder_;
+
+    // Incrementally maintained mirrors of the CTA/warp tables, so the
+    // per-cycle paths (canLaunchCta from the dispatcher and the skip
+    // probe, occupancy accounting, retirement) are O(1) instead of
+    // rescanning every slot. Updated only in launchCta /
+    // retireFinishedCtas / setCtaActive / issueWarp — the only
+    // mutation points of the mirrored state.
+    std::uint32_t freeWarpSlots_ = 0;
+    std::uint32_t residentCtas_ = 0;
+    std::uint32_t finishedCtas_ = 0;
+    std::uint32_t occActiveRegs_ = 0;
+    std::uint32_t occDurRegs_ = 0;
 
     // Time-integrated register occupancy accumulators.
     double activeRegAccum_ = 0;

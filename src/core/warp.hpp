@@ -35,6 +35,14 @@ struct Warp
     bool valid = false;      ///< Slot occupied by a resident warp.
     bool active = true;      ///< False while the CTA is throttled.
     bool finished = false;
+    /**
+     * Decode cache for the instruction at pcIndex, refreshed at CTA
+     * launch and at every pc advance: the per-cycle issue scans test
+     * these warp-local bits instead of chasing the kernel body for
+     * every candidate slot.
+     */
+    bool waitsOnLoads = false; ///< body[pcIndex].dependsOnLoads.
+    bool memNext = false;      ///< body[pcIndex] is a Load or Store.
 
     /** True if the warp could issue at @p now given its own state. */
     bool

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/det.hpp"
 #include "core/gpu.hpp"
 
 namespace lbsim
@@ -68,7 +69,10 @@ characterizeApp(const AppProfile &app, Cycle window)
 
     AppCharacter result;
     result.appId = app.id;
-    for (const auto &[pc, data] : per_load) {
+    // Sorted walk: the final ordering tie-breaks on hash order
+    // otherwise (equal access counts under a non-stable sort).
+    for (const Pc pc : sortedKeys(per_load)) {
+        const PerLoad &data = per_load.at(pc);
         LoadCharacter load;
         load.pc = pc;
         load.accesses = data.accesses;
@@ -87,7 +91,10 @@ characterizeApp(const AppProfile &app, Cycle window)
     }
     std::sort(result.loads.begin(), result.loads.end(),
               [](const LoadCharacter &a, const LoadCharacter &b) {
-                  return a.accesses > b.accesses;
+                  // pc tie-break keeps equal-count loads deterministic.
+                  return a.accesses != b.accesses
+                      ? a.accesses > b.accesses
+                      : a.pc < b.pc;
               });
     return result;
 }

@@ -1,0 +1,569 @@
+#include "harness/perf_point.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/json.hpp"
+
+namespace lbsim
+{
+namespace
+{
+
+/**
+ * Minimal recursive-descent JSON reader, scoped to the point format:
+ * objects, strings, numbers, booleans. Arrays and null are accepted
+ * syntactically (a future schema bump may need them) but the point
+ * loader only consumes the value shapes v1 emits.
+ */
+class JsonReader
+{
+  public:
+    struct Value
+    {
+        enum class Kind { Null, Bool, Number, String, Object, Array };
+        Kind kind = Kind::Null;
+        bool boolean = false;
+        double number = 0.0;
+        std::string text;
+        std::vector<std::pair<std::string, Value>> members;
+        std::vector<Value> elements;
+
+        const Value *
+        member(const std::string &key) const
+        {
+            for (const auto &entry : members) {
+                if (entry.first == key)
+                    return &entry.second;
+            }
+            return nullptr;
+        }
+    };
+
+    JsonReader(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parseDocument(Value &out)
+    {
+        skipSpace();
+        if (!parseValue(out))
+            return false;
+        skipSpace();
+        if (pos_ != text_.size())
+            return fail("trailing characters after JSON value");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &why)
+    {
+        if (error_ && error_->empty()) {
+            std::ostringstream msg;
+            msg << why << " (offset " << pos_ << ")";
+            *error_ = msg.str();
+        }
+        return false;
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(Value &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out.kind = Value::Kind::String;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            if (!literal("true"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (c == 'f') {
+            if (!literal("false"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Bool;
+            out.boolean = false;
+            return true;
+        }
+        if (c == 'n') {
+            if (!literal("null"))
+                return fail("bad literal");
+            out.kind = Value::Kind::Null;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(Value &out)
+    {
+        out.kind = Value::Kind::Object;
+        ++pos_; // '{'
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipSpace();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after key");
+            ++pos_;
+            Value value;
+            if (!parseValue(value))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(Value &out)
+    {
+        out.kind = Value::Kind::Array;
+        ++pos_; // '['
+        skipSpace();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Value value;
+            if (!parseValue(value))
+                return false;
+            out.elements.push_back(std::move(value));
+            skipSpace();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return fail("unterminated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  default:
+                    return fail("unsupported escape sequence");
+                }
+                continue;
+            }
+            out += c;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(Value &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            if (std::isdigit(static_cast<unsigned char>(text_[pos_])))
+                digits = true;
+            ++pos_;
+        }
+        if (!digits)
+            return fail("expected a value");
+        out.kind = Value::Kind::Number;
+        out.number = std::strtod(text_.c_str() + start, nullptr);
+        if (!std::isfinite(out.number))
+            return fail("non-finite number");
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+bool
+numberField(const JsonReader::Value &obj, const char *key, double &out,
+            std::string *error)
+{
+    const JsonReader::Value *v = obj.member(key);
+    if (!v || v->kind != JsonReader::Value::Kind::Number) {
+        if (error && error->empty())
+            *error = std::string("missing or non-numeric field \"") + key +
+                     "\"";
+        return false;
+    }
+    out = v->number;
+    return true;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+serializePerfPoint(const PerfPoint &point)
+{
+    std::string out = "{";
+    out += "\"version\":" + std::to_string(point.version);
+    out += ",\"label\":\"" + JsonWriter::escape(point.label) + "\"";
+    out += ",\"timestamp\":" + std::to_string(point.timestamp);
+    out += ",\"smoke\":" + std::string(point.smoke ? "true" : "false");
+    out += ",\"sms\":" + std::to_string(point.sms);
+    out += ",\"smThreads\":" + std::to_string(point.smThreads);
+    out += ",\"totalCyclesPerSec\":" + formatDouble(point.totalCyclesPerSec);
+    out += ",\"wallSec\":" + formatDouble(point.wallSec);
+    out += ",\"simCycles\":" + std::to_string(point.simCycles);
+    out += ",\"peakRssKb\":" + std::to_string(point.peakRssKb);
+    out += ",\"schemes\":{";
+    for (std::size_t i = 0; i < point.schemes.size(); ++i) {
+        const SchemePerfPoint &scheme = point.schemes[i];
+        if (i)
+            out += ",";
+        out += "\"" + JsonWriter::escape(scheme.scheme) + "\":{";
+        out += "\"cyclesPerSec\":" + formatDouble(scheme.cyclesPerSec);
+        out += ",\"wallSec\":" + formatDouble(scheme.wallSec);
+        out += ",\"peakRssKb\":" + std::to_string(scheme.peakRssKb);
+        out += "}";
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+validatePerfPoint(const PerfPoint &point)
+{
+    if (point.version != kPerfPointVersion) {
+        return "unsupported point version " + std::to_string(point.version) +
+               " (expected " + std::to_string(kPerfPointVersion) + ")";
+    }
+    if (point.label.empty())
+        return "point has an empty label";
+    if (point.timestamp < 0)
+        return "negative timestamp";
+    if (!(point.totalCyclesPerSec >= 0.0) ||
+        !std::isfinite(point.totalCyclesPerSec)) {
+        return "totalCyclesPerSec must be finite and non-negative";
+    }
+    if (!(point.wallSec >= 0.0) || !std::isfinite(point.wallSec))
+        return "wallSec must be finite and non-negative";
+    if (point.schemes.empty())
+        return "point has no scheme entries";
+    for (const SchemePerfPoint &scheme : point.schemes) {
+        if (scheme.scheme.empty())
+            return "scheme entry with an empty name";
+        if (!(scheme.cyclesPerSec >= 0.0) ||
+            !std::isfinite(scheme.cyclesPerSec)) {
+            return "scheme \"" + scheme.scheme +
+                   "\": cyclesPerSec must be finite and non-negative";
+        }
+        if (!(scheme.wallSec >= 0.0) || !std::isfinite(scheme.wallSec)) {
+            return "scheme \"" + scheme.scheme +
+                   "\": wallSec must be finite and non-negative";
+        }
+    }
+    return {};
+}
+
+namespace
+{
+
+bool
+pointFromValue(const JsonReader::Value &root, PerfPoint &out,
+               std::string *err)
+{
+    if (root.kind != JsonReader::Value::Kind::Object) {
+        *err = "perf point is not a JSON object";
+        return false;
+    }
+
+    PerfPoint point;
+    double number = 0.0;
+    if (!numberField(root, "version", number, err))
+        return false;
+    point.version = static_cast<int>(number);
+
+    const JsonReader::Value *label = root.member("label");
+    if (!label || label->kind != JsonReader::Value::Kind::String) {
+        *err = "missing or non-string field \"label\"";
+        return false;
+    }
+    point.label = label->text;
+
+    if (!numberField(root, "timestamp", number, err))
+        return false;
+    point.timestamp = static_cast<std::int64_t>(number);
+
+    const JsonReader::Value *smoke = root.member("smoke");
+    if (!smoke || smoke->kind != JsonReader::Value::Kind::Bool) {
+        *err = "missing or non-boolean field \"smoke\"";
+        return false;
+    }
+    point.smoke = smoke->boolean;
+
+    if (!numberField(root, "sms", number, err))
+        return false;
+    point.sms = static_cast<std::uint32_t>(number);
+    if (!numberField(root, "smThreads", number, err))
+        return false;
+    point.smThreads = static_cast<std::uint32_t>(number);
+    if (!numberField(root, "totalCyclesPerSec", number, err))
+        return false;
+    point.totalCyclesPerSec = number;
+    if (!numberField(root, "wallSec", number, err))
+        return false;
+    point.wallSec = number;
+    if (!numberField(root, "simCycles", number, err))
+        return false;
+    point.simCycles = static_cast<std::uint64_t>(number);
+    if (!numberField(root, "peakRssKb", number, err))
+        return false;
+    point.peakRssKb = static_cast<std::int64_t>(number);
+
+    const JsonReader::Value *schemes = root.member("schemes");
+    if (!schemes || schemes->kind != JsonReader::Value::Kind::Object) {
+        *err = "missing or non-object field \"schemes\"";
+        return false;
+    }
+    for (const auto &entry : schemes->members) {
+        const JsonReader::Value &body = entry.second;
+        if (body.kind != JsonReader::Value::Kind::Object) {
+            *err = "scheme \"" + entry.first + "\" is not an object";
+            return false;
+        }
+        SchemePerfPoint scheme;
+        scheme.scheme = entry.first;
+        if (!numberField(body, "cyclesPerSec", number, err)) {
+            *err = "scheme \"" + entry.first + "\": " + *err;
+            return false;
+        }
+        scheme.cyclesPerSec = number;
+        if (!numberField(body, "wallSec", number, err)) {
+            *err = "scheme \"" + entry.first + "\": " + *err;
+            return false;
+        }
+        scheme.wallSec = number;
+        if (!numberField(body, "peakRssKb", number, err)) {
+            *err = "scheme \"" + entry.first + "\": " + *err;
+            return false;
+        }
+        scheme.peakRssKb = static_cast<std::int64_t>(number);
+        point.schemes.push_back(std::move(scheme));
+    }
+
+    const std::string why = validatePerfPoint(point);
+    if (!why.empty()) {
+        *err = why;
+        return false;
+    }
+    out = std::move(point);
+    return true;
+}
+
+} // namespace
+
+bool
+parsePerfPoint(const std::string &text, PerfPoint &out, std::string *error)
+{
+    std::string scratch;
+    std::string *err = error ? error : &scratch;
+    err->clear();
+
+    JsonReader::Value root;
+    JsonReader reader(text, err);
+    if (!reader.parseDocument(root))
+        return false;
+    return pointFromValue(root, out, err);
+}
+
+bool
+parsePerfPointArtifact(const std::string &text, PerfPoint &out,
+                       std::string *error)
+{
+    std::string scratch;
+    std::string *err = error ? error : &scratch;
+    err->clear();
+
+    JsonReader::Value root;
+    JsonReader reader(text, err);
+    if (!reader.parseDocument(root))
+        return false;
+    if (root.kind == JsonReader::Value::Kind::Object) {
+        if (const JsonReader::Value *inner = root.member("point"))
+            return pointFromValue(*inner, out, err);
+    }
+    return pointFromValue(root, out, err);
+}
+
+bool
+loadTrajectory(const std::string &path, std::vector<PerfPoint> &out,
+               std::string *error)
+{
+    out.clear();
+    std::ifstream in(path);
+    if (!in)
+        return true; // Absent file = empty trajectory.
+
+    std::string line;
+    std::size_t line_no = 0;
+    bool saw_open = false, saw_close = false;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip the array scaffolding and inter-point commas; each
+        // point lives alone on its line.
+        while (!line.empty() &&
+               (line.back() == ',' || line.back() == ' ' ||
+                line.back() == '\r')) {
+            line.pop_back();
+        }
+        if (line.empty())
+            continue;
+        if (line == "[") {
+            saw_open = true;
+            continue;
+        }
+        if (line == "]") {
+            saw_close = true;
+            continue;
+        }
+        PerfPoint point;
+        std::string why;
+        if (!parsePerfPoint(line, point, &why)) {
+            if (error) {
+                *error = path + ":" + std::to_string(line_no) + ": " + why;
+            }
+            return false;
+        }
+        out.push_back(std::move(point));
+    }
+    if (!saw_open || !saw_close) {
+        if (error)
+            *error = path + ": not a one-point-per-line JSON array";
+        return false;
+    }
+    return true;
+}
+
+bool
+appendTrajectoryPoint(const std::string &path, const PerfPoint &point,
+                      std::string *error)
+{
+    const std::string why = validatePerfPoint(point);
+    if (!why.empty()) {
+        if (error)
+            *error = why;
+        return false;
+    }
+
+    // Re-load (and thereby re-validate) the existing trajectory, then
+    // rewrite the whole file. Rewriting keeps the scaffolding canonical
+    // no matter what whitespace the previous writer left behind.
+    std::vector<PerfPoint> points;
+    std::ifstream probe(path);
+    const bool existed = probe.good();
+    probe.close();
+    if (existed && !loadTrajectory(path, points, error))
+        return false;
+    points.push_back(point);
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        if (error)
+            *error = "cannot open " + path + " for writing";
+        return false;
+    }
+    out << "[\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        out << serializePerfPoint(points[i])
+            << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.good();
+}
+
+} // namespace lbsim

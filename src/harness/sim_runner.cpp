@@ -71,9 +71,10 @@ describeApp(const AppProfile &app)
  * appear here: a sweep that mutates a non-keyed field would silently
  * return stale cache hits. The only deliberate exclusions are
  * GpuConfig::auditStride (debugging knob with no architectural effect),
- * GpuConfig::smThreads / RunnerOptions::smThreads (execution-engine
- * knobs — results are bit-identical at any thread count, which the
- * ParallelTick determinism tests enforce) and
+ * GpuConfig::smThreads / RunnerOptions::smThreads and
+ * GpuConfig::tickSkip (execution-engine knobs — results are
+ * bit-identical at any thread count and with skipping on or off, which
+ * the ParallelTick and TickSkip determinism tests enforce) and
  * RunnerOptions::useMemoCache (meta).
  */
 std::string

@@ -11,26 +11,11 @@ namespace lbsim
 VictimTagTable::VictimTagTable(const GpuConfig &gpu, const LbConfig &lb,
                                SimStats *stats)
     : lb_(lb), stats_(stats), sets_(gpu.l1.sets()),
-      entries_(static_cast<std::size_t>(lb.vttMaxPartitions) * sets_ *
-               lb.vttWays)
+      tags_(static_cast<std::size_t>(lb.vttMaxPartitions) * sets_ *
+                lb.vttWays,
+            kNoAddr),
+      lastUse_(tags_.size(), 0)
 {
-}
-
-VictimTagTable::Entry &
-VictimTagTable::at(std::uint32_t partition, std::uint32_t set,
-                   std::uint32_t way)
-{
-    const std::size_t index =
-        (static_cast<std::size_t>(partition) * sets_ + set) * lb_.vttWays +
-        way;
-    return entries_[index];
-}
-
-const VictimTagTable::Entry &
-VictimTagTable::at(std::uint32_t partition, std::uint32_t set,
-                   std::uint32_t way) const
-{
-    return const_cast<VictimTagTable *>(this)->at(partition, set, way);
 }
 
 std::uint32_t
@@ -65,8 +50,10 @@ VictimTagTable::setActivePartitions(std::uint32_t count)
         // registers are being returned to a reactivated CTA).
         for (std::uint32_t p = count; p < activeParts_; ++p) {
             for (std::uint32_t s = 0; s < sets_; ++s) {
-                for (std::uint32_t w = 0; w < lb_.vttWays; ++w)
-                    at(p, s, w) = Entry{};
+                for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
+                    tags_[slot(p, s, w)] = kNoAddr;
+                    lastUse_[slot(p, s, w)] = 0;
+                }
             }
         }
     }
@@ -83,8 +70,8 @@ std::uint32_t
 VictimTagTable::validLines() const
 {
     std::uint32_t count = 0;
-    for (const Entry &entry : entries_)
-        count += entry.valid ? 1 : 0;
+    for (const Addr tag : tags_)
+        count += tag != kNoAddr ? 1 : 0;
     return count;
 }
 
@@ -103,19 +90,25 @@ VictimTagTable::probe(Addr line_addr, Cycle now)
     VttProbe result;
     ++stats_->vttProbes;
     const std::uint32_t set = setIndex(line_addr);
-    for (std::uint32_t p = 0; p < activeParts_; ++p) {
-        result.latency += lb_.vttAccessLatency;
-        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
-            Entry &entry = at(p, set, w);
-            if (entry.valid && entry.lineAddr == line_addr) {
-                entry.lastUse = now;
-                result.hit = true;
-                result.regNum = regNumFor(p, set, w);
-                stats_->vttProbeCycles += result.latency;
-                return result;
-            }
+    // One pass over the set's contiguous tag block: active partitions
+    // sit side by side, ways innermost, so the whole search is a linear
+    // scan of activeParts_ x ways raw addresses. Invalid slots hold
+    // kNoAddr and never match a real line address.
+    const Addr *base = &tags_[slot(0, set, 0)];
+    const std::uint32_t span = activeParts_ * lb_.vttWays;
+    for (std::uint32_t i = 0; i < span; ++i) {
+        if (base[i] == line_addr) {
+            const std::uint32_t p = i / lb_.vttWays;
+            const std::uint32_t w = i % lb_.vttWays;
+            lastUse_[slot(p, set, w)] = now;
+            result.hit = true;
+            result.latency = (p + 1) * lb_.vttAccessLatency;
+            result.regNum = regNumFor(p, set, w);
+            stats_->vttProbeCycles += result.latency;
+            return result;
         }
     }
+    result.latency = activeParts_ * lb_.vttAccessLatency;
     stats_->vttProbeCycles += result.latency;
     return result;
 }
@@ -125,49 +118,41 @@ VictimTagTable::insert(Addr line_addr, Cycle now, RegNum &reg_out)
 {
     if (activeParts_ == 0)
         return false;
+    LB_INVARIANT(line_addr != kNoAddr,
+                 "inserting the sentinel address into the VTT");
 
     const std::uint32_t set = setIndex(line_addr);
+    Addr *base = &tags_[slot(0, set, 0)];
+    const std::uint32_t span = activeParts_ * lb_.vttWays;
 
-    // A line must be unique across the table; refresh if present.
-    for (std::uint32_t p = 0; p < activeParts_; ++p) {
-        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
-            Entry &entry = at(p, set, w);
-            if (entry.valid && entry.lineAddr == line_addr) {
-                entry.lastUse = now;
-                reg_out = regNumFor(p, set, w);
-                return true;
-            }
-        }
-    }
-
-    // Prefer an invalid slot (store-invalidated lines are reused first),
-    // otherwise replace the LRU entry across active partitions.
-    std::uint32_t victim_p = 0;
-    std::uint32_t victim_w = 0;
-    bool found_invalid = false;
+    // One scan of the set's tag block decides everything: a resident
+    // line is refreshed in place, otherwise the first invalid slot (in
+    // partition order — store-invalidated lines are reused first) or,
+    // failing that, the LRU entry across active partitions is replaced.
+    std::uint32_t victim = span;
+    std::uint32_t oldestIdx = 0;
     Cycle oldest = kNoCycle;
-    for (std::uint32_t p = 0; p < activeParts_ && !found_invalid; ++p) {
-        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
-            Entry &entry = at(p, set, w);
-            if (!entry.valid) {
-                victim_p = p;
-                victim_w = w;
-                found_invalid = true;
-                break;
-            }
-            if (entry.lastUse < oldest) {
-                oldest = entry.lastUse;
-                victim_p = p;
-                victim_w = w;
+    for (std::uint32_t i = 0; i < span; ++i) {
+        if (base[i] == line_addr) {
+            lastUse_[slot(0, set, 0) + i] = now;
+            reg_out = regNumFor(i / lb_.vttWays, set, i % lb_.vttWays);
+            return true;
+        }
+        if (victim == span) {
+            if (base[i] == kNoAddr) {
+                victim = i;
+            } else if (lastUse_[slot(0, set, 0) + i] < oldest) {
+                oldest = lastUse_[slot(0, set, 0) + i];
+                oldestIdx = i;
             }
         }
     }
+    if (victim == span)
+        victim = oldestIdx;
 
-    Entry &slot = at(victim_p, set, victim_w);
-    slot.valid = true;
-    slot.lineAddr = line_addr;
-    slot.lastUse = now;
-    reg_out = regNumFor(victim_p, set, victim_w);
+    base[victim] = line_addr;
+    lastUse_[slot(0, set, 0) + victim] = now;
+    reg_out = regNumFor(victim / lb_.vttWays, set, victim % lb_.vttWays);
     return true;
 }
 
@@ -175,13 +160,12 @@ bool
 VictimTagTable::invalidate(Addr line_addr)
 {
     const std::uint32_t set = setIndex(line_addr);
-    for (std::uint32_t p = 0; p < activeParts_; ++p) {
-        for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
-            Entry &entry = at(p, set, w);
-            if (entry.valid && entry.lineAddr == line_addr) {
-                entry.valid = false;
-                return true;
-            }
+    Addr *base = &tags_[slot(0, set, 0)];
+    const std::uint32_t span = activeParts_ * lb_.vttWays;
+    for (std::uint32_t i = 0; i < span; ++i) {
+        if (base[i] == line_addr) {
+            base[i] = kNoAddr;
+            return true;
         }
     }
     return false;
@@ -190,8 +174,8 @@ VictimTagTable::invalidate(Addr line_addr)
 void
 VictimTagTable::invalidateAll()
 {
-    for (Entry &entry : entries_)
-        entry = Entry{};
+    tags_.assign(tags_.size(), kNoAddr);
+    lastUse_.assign(lastUse_.size(), 0);
 }
 
 void
@@ -200,54 +184,51 @@ VictimTagTable::audit(Cycle now) const
     LB_AUDIT(activeParts_ <= lb_.vttMaxPartitions,
              "%u active VTT partitions exceed the maximum of %u",
              activeParts_, lb_.vttMaxPartitions);
-    LB_AUDIT(entries_.size() ==
+    LB_AUDIT(tags_.size() ==
                  static_cast<std::size_t>(lb_.vttMaxPartitions) * sets_ *
                      lb_.vttWays,
-             "VTT backing store holds %zu entries, geometry needs %zu",
-             entries_.size(),
+             "VTT tag plane holds %zu entries, geometry needs %zu",
+             tags_.size(),
              static_cast<std::size_t>(lb_.vttMaxPartitions) * sets_ *
                  lb_.vttWays);
+    LB_AUDIT(lastUse_.size() == tags_.size(),
+             "VTT LRU plane holds %zu entries, tag plane holds %zu",
+             lastUse_.size(), tags_.size());
 
     for (std::uint32_t set = 0; set < sets_; ++set) {
         StateDumpScope dump([this, set] { return debugSetString(set); });
         for (std::uint32_t p = 0; p < lb_.vttMaxPartitions; ++p) {
             for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
-                const Entry &entry = at(p, set, w);
-                if (!entry.valid) {
+                const Addr tag = tags_[slot(p, set, w)];
+                if (tag == kNoAddr) {
                     continue;
                 }
                 LB_AUDIT(p < activeParts_,
                          "valid entry %llx in deactivated partition %u "
                          "(only %u active)",
-                         static_cast<unsigned long long>(entry.lineAddr),
-                         p, activeParts_);
-                LB_AUDIT(entry.lineAddr != kNoAddr,
-                         "valid VTT entry with sentinel address in "
-                         "partition %u set %u way %u",
-                         p, set, w);
-                LB_AUDIT(setIndex(entry.lineAddr) == set,
+                         static_cast<unsigned long long>(tag), p,
+                         activeParts_);
+                LB_AUDIT(setIndex(tag) == set,
                          "line %llx stored in set %u but maps to set %u",
-                         static_cast<unsigned long long>(entry.lineAddr),
-                         set, setIndex(entry.lineAddr));
-                LB_AUDIT(entry.lastUse <= now,
+                         static_cast<unsigned long long>(tag), set,
+                         setIndex(tag));
+                LB_AUDIT(lastUse_[slot(p, set, w)] <= now,
                          "line %llx has future LRU timestamp %llu "
                          "(now %llu)",
-                         static_cast<unsigned long long>(entry.lineAddr),
-                         static_cast<unsigned long long>(entry.lastUse),
+                         static_cast<unsigned long long>(tag),
+                         static_cast<unsigned long long>(
+                             lastUse_[slot(p, set, w)]),
                          static_cast<unsigned long long>(now));
                 // A line must be tracked by at most one partition/way.
                 for (std::uint32_t p2 = p; p2 < lb_.vttMaxPartitions;
                      ++p2) {
                     for (std::uint32_t w2 = p2 == p ? w + 1 : 0;
                          w2 < lb_.vttWays; ++w2) {
-                        const Entry &other = at(p2, set, w2);
-                        LB_AUDIT(!other.valid ||
-                                     other.lineAddr != entry.lineAddr,
+                        LB_AUDIT(tags_[slot(p2, set, w2)] != tag,
                                  "line %llx tracked twice: partition %u "
                                  "way %u and partition %u way %u",
-                                 static_cast<unsigned long long>(
-                                     entry.lineAddr),
-                                 p, w, p2, w2);
+                                 static_cast<unsigned long long>(tag), p,
+                                 w, p2, w2);
                     }
                 }
             }
@@ -267,13 +248,14 @@ VictimTagTable::debugSetString(std::uint32_t set) const
     std::string out = buf;
     for (std::uint32_t p = 0; p < lb_.vttMaxPartitions; ++p) {
         for (std::uint32_t w = 0; w < lb_.vttWays; ++w) {
-            const Entry &entry = at(p, set, w);
-            if (!entry.valid)
+            const Addr tag = tags_[slot(p, set, w)];
+            if (tag == kNoAddr)
                 continue;
             std::snprintf(buf, sizeof(buf),
                           "part=%u way=%u addr=%llx lastUse=%llu\n", p, w,
-                          static_cast<unsigned long long>(entry.lineAddr),
-                          static_cast<unsigned long long>(entry.lastUse));
+                          static_cast<unsigned long long>(tag),
+                          static_cast<unsigned long long>(
+                              lastUse_[slot(p, set, w)]));
             out += buf;
         }
     }
@@ -285,10 +267,8 @@ VictimTagTable::setEntryForTest(std::uint32_t partition, std::uint32_t set,
                                 std::uint32_t way, Addr line_addr,
                                 bool valid, Cycle last_use)
 {
-    Entry &entry = at(partition, set, way);
-    entry.valid = valid;
-    entry.lineAddr = line_addr;
-    entry.lastUse = last_use;
+    tags_[slot(partition, set, way)] = valid ? line_addr : kNoAddr;
+    lastUse_[slot(partition, set, way)] = last_use;
 }
 
 } // namespace lbsim

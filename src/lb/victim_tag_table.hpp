@@ -102,7 +102,8 @@ class VictimTagTable
      * sets x ways x maxPartitions shape, deactivated partitions hold no
      * valid entries, every valid entry sits in the set its address maps
      * to, no line is tracked by more than one (partition, way), and no
-     * LRU timestamp lies in the future.
+     * LRU timestamp lies in the future. (A valid entry with a sentinel
+     * address is unrepresentable: the sentinel IS the invalid marker.)
      */
     void audit(Cycle now) const;
 
@@ -119,17 +120,25 @@ class VictimTagTable
                          Cycle last_use);
 
   private:
-    struct Entry
+    /**
+     * Structure-of-arrays index for (partition, set, way).
+     *
+     * Set-major layout: a probe searches every active partition's ways
+     * of ONE set, so keeping a set's (partition x way) tags contiguous
+     * turns the probe into a linear scan of one small block — the whole
+     * 8-partition x 4-way tag run for a set is 256 bytes — instead of a
+     * strided walk with a cache miss per partition.
+     */
+    std::size_t
+    slot(std::uint32_t partition, std::uint32_t set,
+         std::uint32_t way) const
     {
-        bool valid = false;
-        Addr lineAddr = kNoAddr;
-        Cycle lastUse = 0;
-    };
+        return (static_cast<std::size_t>(set) * lb_.vttMaxPartitions +
+                partition) *
+                   lb_.vttWays +
+               way;
+    }
 
-    Entry &at(std::uint32_t partition, std::uint32_t set,
-              std::uint32_t way);
-    const Entry &at(std::uint32_t partition, std::uint32_t set,
-                    std::uint32_t way) const;
     std::uint32_t setIndex(Addr line_addr) const;
 
     LbConfig lb_;
@@ -137,7 +146,10 @@ class VictimTagTable
     std::uint32_t sets_;
     std::uint32_t activeParts_ = 0;
     bool tagOnly_ = false;
-    std::vector<Entry> entries_;  ///< maxPartitions x sets x ways.
+    /** Tag plane, sets x maxPartitions x ways; kNoAddr = invalid. */
+    std::vector<Addr> tags_;
+    /** LRU plane, parallel to the tag plane. */
+    std::vector<Cycle> lastUse_;
 };
 
 } // namespace lbsim

@@ -45,6 +45,11 @@ DramChannel::enqueue(const DramCommand &cmd, Cycle now, Cycle available)
     queued.enqueued = now;
     queued.available = std::max(now, available);
     queue_.push_back(queued);
+    // A new command may beat the cached idle bound (even conservatively
+    // when it lands beyond the lookahead window — that only costs a
+    // scan).
+    if (queued.available < issueReadyAt_)
+        issueReadyAt_ = queued.available;
 }
 
 void
@@ -58,14 +63,18 @@ DramChannel::tick(Cycle now)
     // next row's activation overlaps the current row's data bursts
     // (bank-level parallelism across row boundaries). Scheduling depth is
     // bounded so FR-FCFS picks see reasonably current row state.
+    if (now < issueReadyAt_)
+        return; // Nothing in the window is serviceable yet.
     for (std::uint32_t burst = 0; burst < kIssuesPerCycle; ++burst) {
         if (queue_.empty() || scheduled_ >= kMaxScheduled)
             return;
-        issueOne(now, burst + 1 == kIssuesPerCycle);
+        if (!issueOne(now, burst + 1 == kIssuesPerCycle))
+            return; // Availability is time-driven: later bursts see
+                    // the same window and would scan for nothing.
     }
 }
 
-void
+bool
 DramChannel::issueOne(Cycle now, bool prefer_miss)
 {
     // FR-FCFS-lite among available commands: prefer a row-hit within the
@@ -74,9 +83,13 @@ DramChannel::issueOne(Cycle now, bool prefer_miss)
     std::size_t pick = queue_.size();
     const std::size_t window = std::min<std::size_t>(kLookahead,
                                                      queue_.size());
+    Cycle window_ready = kNoCycle;
     for (std::size_t i = 0; i < window; ++i) {
-        if (queue_[i].available > now)
+        if (queue_[i].available > now) {
+            if (queue_[i].available < window_ready)
+                window_ready = queue_[i].available;
             continue;
+        }
         if (pick == queue_.size())
             pick = i; // Oldest available fallback.
         const std::uint32_t bank = bankOf(queue_[i].lineAddr);
@@ -87,11 +100,18 @@ DramChannel::issueOne(Cycle now, bool prefer_miss)
             break;
         }
     }
-    if (pick == queue_.size())
-        return; // Nothing available yet.
+    if (pick == queue_.size()) {
+        // Nothing available yet; the window can only change through a
+        // future availability (its exact min, computed above) or an
+        // enqueue (which lowers the bound again).
+        issueReadyAt_ = window_ready;
+        return false;
+    }
 
     const DramCommand cmd = queue_[pick];
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++freeEpoch_;
+    issueReadyAt_ = 0; // The erase shifted the lookahead window.
 
     const std::uint32_t bank = bankOf(cmd.lineAddr);
     const bool row_hit = rowValid_[bank] && openRow_[bank] ==
@@ -156,16 +176,23 @@ DramChannel::issueOne(Cycle now, bool prefer_miss)
     }
 
     completed_.push_back({cmd, done});
+    if (done < minDone_)
+        minDone_ = done;
     ++scheduled_;
+    return true;
 }
 
 void
 DramChannel::drainCompleted(Cycle now, std::vector<DramCompletion> &out)
 {
     SeqGuard guard(domain_);
+    if (now < minDone_)
+        return; // Exact min: nothing can have finished yet.
     // Completions were issued in service order but may finish out of
     // order only when latencies differ; the skew is small, so a stable
-    // scan keeps things simple.
+    // scan keeps things simple. The scan doubles as the minDone_
+    // recomputation over the retained entries.
+    Cycle min_done = kNoCycle;
     auto it = completed_.begin();
     while (it != completed_.end()) {
         if (it->done <= now) {
@@ -173,9 +200,31 @@ DramChannel::drainCompleted(Cycle now, std::vector<DramCompletion> &out)
             it = completed_.erase(it);
             --scheduled_;
         } else {
+            if (it->done < min_done)
+                min_done = it->done;
             ++it;
         }
     }
+    minDone_ = min_done;
+}
+
+Cycle
+DramChannel::nextEventCycle(Cycle now) const
+{
+    SeqGuard guard(domain_);
+    Cycle bound = kNoCycle;
+    // A queued command acts at max(issueReadyAt_, now) — provided a
+    // scheduled_ slot is free. issueReadyAt_ is a conservative lower
+    // bound on window availability (stale-low at worst), so the result
+    // never overshoots the real event. When every slot is taken the
+    // queue can only move after a completion drains, which the
+    // completion bound below covers (the freed slot is visible to the
+    // next tick).
+    if (scheduled_ < kMaxScheduled && !queue_.empty())
+        bound = issueReadyAt_ > now ? issueReadyAt_ : now;
+    if (minDone_ < bound)
+        bound = minDone_;
+    return bound;
 }
 
 } // namespace lbsim

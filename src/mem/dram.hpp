@@ -79,6 +79,32 @@ class DramChannel
         return static_cast<std::uint32_t>(queue_.size());
     }
 
+    /**
+     * Earliest future cycle at which ticking this channel could have an
+     * effect, or kNoCycle if it is fully idle. Two event sources exist:
+     * a queued command becoming serviceable (issueOne() only considers
+     * entries with available <= now and, once picked, always issues —
+     * bank/bus timing shapes the completion time, not eligibility), and
+     * a scheduled command completing (drainCompleted / the scheduled_
+     * slot it frees). Used by the tick-skip engine; must stay in
+     * lockstep with tick()'s actual behaviour.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Monotone counter bumped whenever the command queue shrinks (a
+     * command was issued). While it is unchanged a full queue stays
+     * full — the queue only ever shrinks in issueOne() — so a caller
+     * whose request bounced off canAccept() may skip retrying until
+     * the epoch moves.
+     */
+    std::uint64_t
+    freeEpoch() const
+    {
+        SeqGuard guard(domain_);
+        return freeEpoch_;
+    }
+
   private:
     static constexpr std::uint32_t kBanks = 8;
     static constexpr std::uint32_t kRowLines = 16; ///< 2 KB rows.
@@ -88,7 +114,8 @@ class DramChannel
 
     std::uint32_t bankOf(Addr line_addr) const;
     std::uint64_t rowOf(Addr line_addr) const;
-    void issueOne(Cycle now, bool prefer_miss) LB_REQUIRES(domain_);
+    /** @return false when nothing in the window was serviceable. */
+    bool issueOne(Cycle now, bool prefer_miss) LB_REQUIRES(domain_);
 
     const GpuConfig &cfg_;
     SimStats *stats_;
@@ -108,9 +135,30 @@ class DramChannel
     std::vector<Cycle> bankActivate_ LB_GUARDED_BY(domain_);
     /** Issued but not yet completed. */
     std::uint32_t scheduled_ LB_GUARDED_BY(domain_) = 0;
+    /** Bumped on every queue_ pop; see freeEpoch(). */
+    std::uint64_t freeEpoch_ LB_GUARDED_BY(domain_) = 0;
     /** Next instant the data bus is idle. */
     double busFree_ LB_GUARDED_BY(domain_) = 0;
     double busCyclesPerLine_;    ///< Data-bus occupancy per 128 B line.
+
+    /**
+     * Earliest cycle a command in the FR-FCFS window could become
+     * serviceable; tick() returns immediately while now is below it.
+     * Set by a scan that found nothing available (exact min over the
+     * window), lowered on enqueue, and cleared after any issue (the
+     * erase shifts new entries into the window). Always conservative:
+     * a stale-low value only costs a wasted scan, never a missed or
+     * reordered issue, so every pick is bit-identical to the unskipped
+     * scan sequence.
+     */
+    Cycle issueReadyAt_ LB_GUARDED_BY(domain_) = 0;
+    /**
+     * Exact minimum `done` cycle over completed_ (kNoCycle when
+     * empty): drainCompleted() is a no-op before it, and
+     * nextEventCycle() reads it instead of walking the deque. Kept
+     * exact: min-updated on push, recomputed during every drain scan.
+     */
+    Cycle minDone_ LB_GUARDED_BY(domain_) = kNoCycle;
 };
 
 } // namespace lbsim

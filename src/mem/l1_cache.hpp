@@ -20,11 +20,10 @@
 #include <functional>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/mshr.hpp"
@@ -163,6 +162,27 @@ class L1Cache
     /** Pop access ids whose data became available by @p now. */
     void drainCompleted(Cycle now, std::vector<std::uint64_t> &out);
 
+    /**
+     * Earliest ready cycle in the completion queue (kNoCycle if empty).
+     * The queue is kept ordered by ready cycle, so this is the front.
+     */
+    Cycle
+    nextCompletionCycle() const
+    {
+        return completed_.empty() ? kNoCycle : completed_.front().first;
+    }
+
+    /**
+     * Const mirror of accessImpl()'s stall decision: would presenting
+     * an access to @p line_addr stall this cycle? Follows the accepted/
+     * stalled split exactly (hit -> accepted; pending line -> merge
+     * unless the merge list is full; otherwise MSHR capacity, then
+     * downstream credit). The tick-skip engine uses it to prove a
+     * queued LDST head stays parked; stalled accesses have no side
+     * effects, so the skipped retries are invisible.
+     */
+    bool wouldStall(Addr line_addr, bool is_write) const;
+
     /** Tag-array geometry actually in use (after extensions). */
     const TagArray &tags() const { return tags_; }
 
@@ -225,13 +245,16 @@ class L1Cache
     };
 
     /** Pending fills: line -> info recorded at miss time. */
-    std::unordered_map<Addr, PendingFill> pendingFills_;
+    FlatMap<Addr, PendingFill> pendingFills_;
 
     /** Lines ever fetched by this SM; classifies cold vs capacity miss. */
-    std::unordered_set<Addr> everFetched_;
+    FlatSet<Addr> everFetched_;
 
     /** (ready cycle, access id) min-ordered completion queue. */
     std::deque<std::pair<Cycle, std::uint64_t>> completed_;
+
+    /** Reused fill-waiter buffer; fill() is hot and must not allocate. */
+    std::vector<std::uint64_t> waiterScratch_;
 };
 
 } // namespace lbsim

@@ -32,7 +32,7 @@ MemoryPartition::respond(const PendingRead &read, Cycle ready)
     icnt_->sendResponse(resp, ready);
 }
 
-bool
+DeliverResult
 MemoryPartition::deliver(const MemRequest &req, Cycle now)
 {
     SeqGuard guard(domain_);
@@ -44,7 +44,7 @@ MemoryPartition::deliver(const MemRequest &req, Cycle now)
 
     // Conservative backpressure: any request may need the DRAM queue.
     if (!dram_.canAccept())
-        return false;
+        return DeliverResult::BlockedDram;
 
     // A refresh storm pushes every command's service eligibility out by
     // the storm magnitude; the queue itself keeps accepting.
@@ -53,45 +53,66 @@ MemoryPartition::deliver(const MemRequest &req, Cycle now)
     switch (req.kind) {
       case RequestKind::DataRead: {
         const std::uint64_t id = nextReadId_++;
-        pendingReads_[id] = {req.lineAddr, req.smId, req.kind};
+        // Only reads that stay pending (miss/merge, completed by the
+        // eventual fill) enter the pending map; the hit and stall paths
+        // would insert-then-erase within this call, invisible to every
+        // audit point, so they bypass the map entirely.
         switch (l2_.accessRead(req.lineAddr, id, now)) {
-          case L2Outcome::Hit: {
-            const auto it = pendingReads_.find(id);
-            respond(it->second, now + cfg_.l2Latency);
-            pendingReads_.erase(it);
-            return true;
-          }
+          case L2Outcome::Hit:
+            respond({req.lineAddr, req.smId, req.kind},
+                    now + cfg_.l2Latency);
+            return DeliverResult::Accepted;
           case L2Outcome::Miss:
             // The L2 lookup precedes the DRAM fetch.
+            pendingReads_[id] = {req.lineAddr, req.smId, req.kind};
             dram_.enqueue({req.lineAddr, false, req.kind, req.smId, now},
                           now, now + cfg_.l2Latency + storm);
-            return true;
+            return DeliverResult::Accepted;
           case L2Outcome::Merged:
-            return true;
+            pendingReads_[id] = {req.lineAddr, req.smId, req.kind};
+            return DeliverResult::Accepted;
           case L2Outcome::Stall:
-            pendingReads_.erase(id);
-            return false;
+            return DeliverResult::BlockedL2;
         }
-        return false;
+        return DeliverResult::BlockedL2;
       }
       case RequestKind::DataWrite:
         l2_.accessWrite(req.lineAddr, now);
         dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now,
                       storm ? now + storm : 0);
-        return true;
+        return DeliverResult::Accepted;
       case RequestKind::RegBackup:
         dram_.enqueue({req.lineAddr, true, req.kind, req.smId, now}, now,
                       storm ? now + storm : 0);
-        return true;
+        return DeliverResult::Accepted;
       case RequestKind::RegRestore: {
         const std::uint64_t id = nextReadId_++;
         (void)id;
         dram_.enqueue({req.lineAddr, false, req.kind, req.smId, now}, now,
                       storm ? now + storm : 0);
-        return true;
+        return DeliverResult::Accepted;
       }
     }
-    return false;
+    return DeliverResult::BlockedDram;
+}
+
+void
+MemoryPartition::chargeSkippedReadRetry()
+{
+    SeqGuard guard(domain_);
+    // Mirrors the DataRead stall path above: one read id consumed, one
+    // L2 access charged (L2Slice::accessReadImpl's counter), nothing
+    // else — the transient pending-read entry nets out to zero.
+    ++nextReadId_;
+    ++stats_->l2Accesses;
+}
+
+void
+MemoryPartition::chargeSkippedReadRetries(std::uint64_t count)
+{
+    SeqGuard guard(domain_);
+    nextReadId_ += count;
+    stats_->l2Accesses += count;
 }
 
 void
@@ -145,13 +166,15 @@ MemoryPartition::tick(Cycle now)
     SeqGuard guard(domain_);
     dram_.tick(now);
 
-    std::vector<DramCompletion> done;
-    dram_.drainCompleted(now, done);
-    for (const DramCompletion &completion : done) {
+    doneScratch_.clear();
+    dram_.drainCompleted(now, doneScratch_);
+    for (const DramCompletion &completion : doneScratch_) {
         const DramCommand &cmd = completion.cmd;
         switch (cmd.kind) {
           case RequestKind::DataRead: {
-            std::vector<std::uint64_t> waiters;
+            ++l2Epoch_;
+            waiterScratch_.clear();
+            std::vector<std::uint64_t> &waiters = waiterScratch_;
             l2_.fill(cmd.lineAddr, completion.done, waiters);
             for (std::uint64_t id : waiters) {
                 auto it = pendingReads_.find(id);

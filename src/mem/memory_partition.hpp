@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/flat_map.hpp"
 #include "common/stats.hpp"
 #include "common/thread_safety.hpp"
 #include "mem/dram.hpp"
@@ -28,6 +28,21 @@ namespace lbsim
 
 class Interconnect;
 class FaultInjector;
+
+/**
+ * Outcome of presenting one request to a partition. The two blocked
+ * flavors matter to the interconnect's retry loop: a request bounced
+ * off a full DRAM queue left no trace at all, while a read stalled on
+ * the L2 MSHRs consumed an access (and a read id) before bouncing.
+ * The retry-skip cache replays exactly those effects per skipped
+ * attempt, so skipping is invisible in every counter.
+ */
+enum class DeliverResult : std::uint8_t
+{
+    Accepted,    ///< Request consumed; any response comes later.
+    BlockedDram, ///< DRAM queue full; attempt had zero side effects.
+    BlockedL2,   ///< Read stalled on L2 MSHRs after charging an access.
+};
 
 /** L2 slice + DRAM channel behind one interconnect port. */
 class MemoryPartition
@@ -44,12 +59,57 @@ class MemoryPartition
 
     /**
      * Accept @p req from the interconnect.
-     * @return false if the partition is full (request stays queued).
+     * @return the blocked flavor if the partition is full (the request
+     *     stays queued at the interconnect and retries).
      */
-    bool deliver(const MemRequest &req, Cycle now);
+    DeliverResult deliver(const MemRequest &req, Cycle now);
 
     /** Advance DRAM and emit finished responses. */
     void tick(Cycle now);
+
+    /**
+     * Epoch of the L2 slice's fill state. Bumped whenever a DRAM fill
+     * completes into the slice (the only event that frees L2 MSHR
+     * entries or inserts lines). While it is unchanged and the DRAM
+     * queue still has room, a read that stalled on the L2 MSHRs would
+     * stall again with identical effects.
+     */
+    std::uint64_t
+    l2Epoch() const
+    {
+        SeqGuard guard(domain_);
+        return l2Epoch_;
+    }
+
+    /** Forward of DramChannel::freeEpoch() for the retry-skip cache. */
+    std::uint64_t dramFreeEpoch() const { return dram_.freeEpoch(); }
+
+    /** Live DRAM backpressure (cheap; see Interconnect::tick). */
+    bool dramCanAccept() const { return dram_.canAccept(); }
+
+    /**
+     * Replay the side effects of one skipped L2-stalled read retry.
+     * A real retry runs deliver()'s DataRead path up to the MSHR stall:
+     * it consumes a read id and charges one L2 access (the transient
+     * pending-read entry is inserted and erased again, net zero). The
+     * interconnect calls this instead of deliver() while l2Epoch() is
+     * unchanged, keeping every counter and the id sequence bit-exact.
+     */
+    void chargeSkippedReadRetry();
+
+    /** Bulk form of chargeSkippedReadRetry() for @p count retries. */
+    void chargeSkippedReadRetries(std::uint64_t count);
+
+    /**
+     * Earliest future cycle at which ticking this partition could have
+     * an effect, or kNoCycle when idle. The partition's tick is entirely
+     * DRAM-driven (advance the channel, drain its completions), so the
+     * bound is the channel's. Used by the tick-skip engine.
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        return dram_.nextEventCycle(now);
+    }
 
     /**
      * Consistency auditor: every pending read belongs to this partition,
@@ -91,8 +151,13 @@ class MemoryPartition
      */
     mutable SeqDomain domain_;
     std::uint64_t nextReadId_ LB_GUARDED_BY(domain_) = 1;
-    std::unordered_map<std::uint64_t, PendingRead> pendingReads_
+    /** Bumped per tick that completed at least one L2 fill. */
+    std::uint64_t l2Epoch_ LB_GUARDED_BY(domain_) = 0;
+    FlatMap<std::uint64_t, PendingRead> pendingReads_
         LB_GUARDED_BY(domain_);
+    /** Reused per-tick buffers; tick() is hot and must not allocate. */
+    std::vector<DramCompletion> doneScratch_ LB_GUARDED_BY(domain_);
+    std::vector<std::uint64_t> waiterScratch_ LB_GUARDED_BY(domain_);
 };
 
 } // namespace lbsim

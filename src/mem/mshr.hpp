@@ -12,9 +12,9 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/thread_safety.hpp"
 #include "common/types.hpp"
 
@@ -46,6 +46,15 @@ class MshrFile
 
     /** True if @p line_addr already has an in-flight fill. */
     bool pending(Addr line_addr) const;
+
+    /**
+     * True if a miss on @p line_addr would merge into its in-flight
+     * entry (the merge list has room). False when no entry exists or
+     * the list is full — the exact condition registerMiss() uses, so
+     * the tick-skip engine can predict a retry's outcome without
+     * mutating anything.
+     */
+    bool canMerge(Addr line_addr) const;
 
     /**
      * Complete the fill for @p line_addr.
@@ -92,7 +101,7 @@ class MshrFile
      * the capability marks every access that the shard boundary covers.
      */
     mutable SeqDomain domain_;
-    std::unordered_map<Addr, Entry> entries_ LB_GUARDED_BY(domain_);
+    FlatMap<Addr, Entry> entries_ LB_GUARDED_BY(domain_);
 };
 
 } // namespace lbsim

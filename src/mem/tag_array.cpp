@@ -9,127 +9,129 @@ namespace lbsim
 {
 
 TagArray::TagArray(std::uint32_t sets, std::uint32_t ways)
-    : sets_(sets), ways_(ways), lines_(sets * ways)
+    : sets_(sets), ways_(ways),
+      tags_(static_cast<std::size_t>(sets) * ways, kNoAddr),
+      meta_(static_cast<std::size_t>(sets) * ways)
 {
     if (sets == 0 || ways == 0)
         panic("TagArray requires nonzero geometry (%u sets, %u ways)",
               sets, ways);
 }
 
-TagLine *
-TagArray::find(Addr line_addr)
+std::uint32_t
+TagArray::findWay(std::uint32_t set, Addr line_addr) const
 {
-    const std::uint32_t set = setIndex(line_addr);
-    TagLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    // The hit path: one linear scan of the set's contiguous tag run.
+    // Invalid ways hold kNoAddr and real line addresses never equal it,
+    // so no validity test is needed per way.
+    const Addr *base = &tags_[slot(set, 0)];
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (base[w].valid && base[w].lineAddr == line_addr)
-            return &base[w];
+        if (base[w] == line_addr)
+            return w;
     }
-    return nullptr;
-}
-
-const TagLine *
-TagArray::find(Addr line_addr) const
-{
-    return const_cast<TagArray *>(this)->find(line_addr);
+    return ways_;
 }
 
 bool
 TagArray::access(Addr line_addr, std::uint8_t hpc, Cycle now,
                  std::uint8_t owner)
 {
-    if (TagLine *line = find(line_addr)) {
-        line->lastUse = now;
-        line->hpc = hpc;
-        line->owner = owner;
-        return true;
-    }
-    return false;
+    const std::uint32_t set = setIndex(line_addr);
+    const std::uint32_t way = findWay(set, line_addr);
+    if (way == ways_)
+        return false;
+    WayMeta &m = meta_[slot(set, way)];
+    m.lastUse = now;
+    m.hpc = hpc;
+    m.owner = owner;
+    return true;
 }
 
 bool
 TagArray::probe(Addr line_addr) const
 {
-    return find(line_addr) != nullptr;
+    return findWay(setIndex(line_addr), line_addr) != ways_;
 }
 
 std::optional<std::uint8_t>
 TagArray::lineHpc(Addr line_addr) const
 {
-    if (const TagLine *line = find(line_addr))
-        return line->hpc;
-    return std::nullopt;
+    const std::uint32_t set = setIndex(line_addr);
+    const std::uint32_t way = findWay(set, line_addr);
+    if (way == ways_)
+        return std::nullopt;
+    return meta_[slot(set, way)].hpc;
 }
 
 std::optional<Eviction>
 TagArray::insert(Addr line_addr, std::uint8_t hpc, Cycle now,
                  std::uint8_t owner)
 {
+    LB_INVARIANT(line_addr != kNoAddr,
+                 "inserting the sentinel address into a tag array");
     const std::uint32_t set = setIndex(line_addr);
-    TagLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
+    Addr *base = &tags_[slot(set, 0)];
 
-    // Refill of a resident line just refreshes it.
-    if (TagLine *line = find(line_addr)) {
-        line->lastUse = now;
-        line->fillTime = now;
-        line->hpc = hpc;
-        line->owner = owner;
-        return std::nullopt;
-    }
-
-    TagLine *slot = nullptr;
+    // Refill of a resident line just refreshes it; otherwise remember
+    // the first invalid way from the same scan.
+    std::uint32_t way = ways_;
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        if (!base[w].valid) {
-            slot = &base[w];
-            break;
+        if (base[w] == line_addr) {
+            WayMeta &m = meta_[slot(set, w)];
+            m.lastUse = now;
+            m.fillTime = now;
+            m.hpc = hpc;
+            m.owner = owner;
+            return std::nullopt;
         }
+        if (way == ways_ && base[w] == kNoAddr)
+            way = w;
     }
 
     std::optional<Eviction> evicted;
-    if (!slot) {
-        slot = base;
+    if (way == ways_) {
+        way = 0;
+        const WayMeta *metaBase = &meta_[slot(set, 0)];
         for (std::uint32_t w = 1; w < ways_; ++w) {
-            if (base[w].lastUse < slot->lastUse)
-                slot = &base[w];
+            if (metaBase[w].lastUse < metaBase[way].lastUse)
+                way = w;
         }
-        evicted = Eviction{slot->lineAddr, slot->hpc, slot->owner};
+        const WayMeta &victim = metaBase[way];
+        evicted = Eviction{base[way], victim.hpc, victim.owner};
     }
 
-    slot->valid = true;
-    slot->lineAddr = line_addr;
-    slot->hpc = hpc;
-    slot->owner = owner;
-    slot->lastUse = now;
-    slot->fillTime = now;
+    base[way] = line_addr;
+    WayMeta &m = meta_[slot(set, way)];
+    m.hpc = hpc;
+    m.owner = owner;
+    m.lastUse = now;
+    m.fillTime = now;
     return evicted;
 }
 
 bool
 TagArray::invalidate(Addr line_addr)
 {
-    if (TagLine *line = find(line_addr)) {
-        line->valid = false;
-        line->lineAddr = kNoAddr;
-        return true;
-    }
-    return false;
+    const std::uint32_t set = setIndex(line_addr);
+    const std::uint32_t way = findWay(set, line_addr);
+    if (way == ways_)
+        return false;
+    tags_[slot(set, way)] = kNoAddr;
+    return true;
 }
 
 void
 TagArray::invalidateAll()
 {
-    for (auto &line : lines_) {
-        line.valid = false;
-        line.lineAddr = kNoAddr;
-    }
+    tags_.assign(tags_.size(), kNoAddr);
 }
 
 std::uint32_t
 TagArray::validLines() const
 {
     std::uint32_t count = 0;
-    for (const auto &line : lines_)
-        count += line.valid ? 1 : 0;
+    for (const Addr tag : tags_)
+        count += tag != kNoAddr ? 1 : 0;
     return count;
 }
 
@@ -138,32 +140,27 @@ TagArray::audit(Cycle now) const
 {
     for (std::uint32_t set = 0; set < sets_; ++set) {
         StateDumpScope dump([this, set] { return debugSetString(set); });
-        const TagLine *base =
-            &lines_[static_cast<std::size_t>(set) * ways_];
+        const Addr *base = &tags_[slot(set, 0)];
         for (std::uint32_t w = 0; w < ways_; ++w) {
-            const TagLine &line = base[w];
-            if (!line.valid)
+            if (base[w] == kNoAddr)
                 continue;
-            LB_AUDIT(line.lineAddr != kNoAddr,
-                     "valid line in set %u way %u has sentinel address",
-                     set, w);
-            LB_AUDIT(setIndex(line.lineAddr) == set,
+            const WayMeta &m = meta_[slot(set, w)];
+            LB_AUDIT(setIndex(base[w]) == set,
                      "line %llx stored in set %u but maps to set %u",
-                     static_cast<unsigned long long>(line.lineAddr), set,
-                     setIndex(line.lineAddr));
-            LB_AUDIT(line.lastUse <= now && line.fillTime <= now,
+                     static_cast<unsigned long long>(base[w]), set,
+                     setIndex(base[w]));
+            LB_AUDIT(m.lastUse <= now && m.fillTime <= now,
                      "line %llx in set %u has future timestamps "
                      "(lastUse=%llu fill=%llu now=%llu)",
-                     static_cast<unsigned long long>(line.lineAddr), set,
-                     static_cast<unsigned long long>(line.lastUse),
-                     static_cast<unsigned long long>(line.fillTime),
+                     static_cast<unsigned long long>(base[w]), set,
+                     static_cast<unsigned long long>(m.lastUse),
+                     static_cast<unsigned long long>(m.fillTime),
                      static_cast<unsigned long long>(now));
             for (std::uint32_t w2 = w + 1; w2 < ways_; ++w2) {
-                LB_AUDIT(!base[w2].valid ||
-                             base[w2].lineAddr != line.lineAddr,
+                LB_AUDIT(base[w2] != base[w],
                          "duplicate tag %llx in set %u (ways %u and %u)",
-                         static_cast<unsigned long long>(line.lineAddr),
-                         set, w, w2);
+                         static_cast<unsigned long long>(base[w]), set, w,
+                         w2);
             }
         }
     }
@@ -174,27 +171,46 @@ TagArray::debugSetString(std::uint32_t set) const
 {
     std::string out = "TagArray set " + std::to_string(set) + " (" +
         std::to_string(ways_) + " ways)\n";
-    const TagLine *base = &lines_[static_cast<std::size_t>(set) * ways_];
     char buf[160];
     for (std::uint32_t w = 0; w < ways_; ++w) {
-        const TagLine &line = base[w];
+        const Addr tag = tags_[slot(set, w)];
+        const WayMeta &m = meta_[slot(set, w)];
         std::snprintf(buf, sizeof(buf),
                       "way=%u valid=%d addr=%llx hpc=%u owner=%u "
                       "lastUse=%llu fill=%llu\n",
-                      w, line.valid ? 1 : 0,
-                      static_cast<unsigned long long>(line.lineAddr),
-                      line.hpc, line.owner,
-                      static_cast<unsigned long long>(line.lastUse),
-                      static_cast<unsigned long long>(line.fillTime));
+                      w, tag != kNoAddr ? 1 : 0,
+                      static_cast<unsigned long long>(tag), m.hpc, m.owner,
+                      static_cast<unsigned long long>(m.lastUse),
+                      static_cast<unsigned long long>(m.fillTime));
         out += buf;
     }
     return out;
 }
 
-TagLine &
-TagArray::lineForTest(std::uint32_t set, std::uint32_t way)
+TagLine
+TagArray::lineForTest(std::uint32_t set, std::uint32_t way) const
 {
-    return lines_[static_cast<std::size_t>(set) * ways_ + way];
+    const std::size_t index = slot(set, way);
+    TagLine line;
+    line.valid = tags_[index] != kNoAddr;
+    line.lineAddr = tags_[index];
+    line.hpc = meta_[index].hpc;
+    line.owner = meta_[index].owner;
+    line.lastUse = meta_[index].lastUse;
+    line.fillTime = meta_[index].fillTime;
+    return line;
+}
+
+void
+TagArray::setLineForTest(std::uint32_t set, std::uint32_t way,
+                         const TagLine &line)
+{
+    const std::size_t index = slot(set, way);
+    tags_[index] = line.valid ? line.lineAddr : kNoAddr;
+    meta_[index].hpc = line.hpc;
+    meta_[index].owner = line.owner;
+    meta_[index].lastUse = line.lastUse;
+    meta_[index].fillTime = line.fillTime;
 }
 
 } // namespace lbsim

@@ -7,6 +7,13 @@
  * hashed PC of the load that last touched it, which Linebacker uses to
  * decide whether an evicted line belongs to a selected high-locality load
  * (Fig 7 "HPC" field).
+ *
+ * Storage is structure-of-arrays: the tag plane is a dense sets x ways
+ * array of raw line addresses (the kNoAddr sentinel marks an invalid
+ * way), so the hit-path scan of a set touches one contiguous run of
+ * 8-byte tags — a whole 8-way set fits in a single cache line — while
+ * the replacement payload (HPC, owner, LRU/fill timestamps) lives in a
+ * parallel plane only touched on hits and fills.
  */
 
 #pragma once
@@ -22,7 +29,10 @@
 namespace lbsim
 {
 
-/** One tag-array line. */
+/**
+ * Value view of one tag-array line, assembled from the planes on demand
+ * (tests and debug dumps); not the storage format.
+ */
 struct TagLine
 {
     bool valid = false;
@@ -106,28 +116,51 @@ class TagArray
 
     /**
      * Consistency auditor: every valid line maps to its set, no tag is
-     * duplicated within a set, no sentinel addresses are marked valid,
-     * and no LRU/fill timestamp lies in the future of @p now.
+     * duplicated within a set, and no LRU/fill timestamp lies in the
+     * future of @p now. (A valid line with a sentinel address is
+     * unrepresentable in the split layout: the sentinel IS the invalid
+     * marker.)
      */
     void audit(Cycle now) const;
 
     /** State dump of one set for failure reports. */
     std::string debugSetString(std::uint32_t set) const;
 
+    /** Assembled view of one way (tests and debug tooling). */
+    TagLine lineForTest(std::uint32_t set, std::uint32_t way) const;
+
     /**
-     * Direct line access for tests that need to fabricate corrupted
-     * states the public interface cannot produce. Never call this from
-     * simulator code.
+     * Overwrite one way from a TagLine view so tests can fabricate
+     * corrupted states (duplicate tags, wrong-set lines, future
+     * timestamps) the public interface cannot produce. Never call this
+     * from simulator code.
      */
-    TagLine &lineForTest(std::uint32_t set, std::uint32_t way);
+    void setLineForTest(std::uint32_t set, std::uint32_t way,
+                        const TagLine &line);
 
   private:
-    TagLine *find(Addr line_addr);
-    const TagLine *find(Addr line_addr) const;
+    /** Replacement payload for one way, parallel to the tag plane. */
+    struct WayMeta
+    {
+        std::uint8_t hpc = 0;
+        std::uint8_t owner = 0;
+        Cycle lastUse = 0;
+        Cycle fillTime = 0;
+    };
+
+    /** Way holding @p line_addr in @p set, or ways_ when absent. */
+    std::uint32_t findWay(std::uint32_t set, Addr line_addr) const;
+
+    std::size_t
+    slot(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways_ + way;
+    }
 
     std::uint32_t sets_;
     std::uint32_t ways_;
-    std::vector<TagLine> lines_;    ///< sets_ x ways_, row-major.
+    std::vector<Addr> tags_;     ///< sets_ x ways_ tag plane; kNoAddr = invalid.
+    std::vector<WayMeta> meta_;  ///< Payload plane, same indexing.
 };
 
 } // namespace lbsim

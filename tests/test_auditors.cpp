@@ -108,9 +108,10 @@ TEST_F(AuditFixture, TagArrayDuplicateTagTrips)
 {
     TagArray tags(48, 8);
     tags.insert(0x0, 0, 1);
-    TagLine &line = tags.lineForTest(0, 1);
+    TagLine line;
     line.valid = true;
     line.lineAddr = 0x0;
+    tags.setLineForTest(0, 1, line);
     tags.audit(10);
     EXPECT_FALSE(failures.empty());
 }
@@ -118,9 +119,10 @@ TEST_F(AuditFixture, TagArrayDuplicateTagTrips)
 TEST_F(AuditFixture, TagArrayWrongSetTrips)
 {
     TagArray tags(48, 8);
-    TagLine &line = tags.lineForTest(0, 0);
+    TagLine line;
     line.valid = true;
     line.lineAddr = 3 * kLineBytes;  // Maps to set 3, stored in set 0.
+    tags.setLineForTest(0, 0, line);
     tags.audit(10);
     EXPECT_FALSE(failures.empty());
 }

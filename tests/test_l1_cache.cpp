@@ -8,10 +8,13 @@
 
 #include <memory>
 
+#include "common/rng.hpp"
 #include "mem/interconnect.hpp"
 #include "mem/l1_cache.hpp"
 #include "mem/memory_partition.hpp"
+#include "mem/tag_array.hpp"
 #include "testing/lockstep.hpp"
+#include "testing/ref_cache.hpp"
 
 namespace lbsim
 {
@@ -359,6 +362,54 @@ TEST_F(L1Fixture, LockstepCheckerTripsOnFabricatedVictimHit)
 
     EXPECT_EQ(l1->access(load(1, 4096), now), L1Outcome::VictimHit);
     EXPECT_GT(checker.log().mismatches(), 0u);
+}
+
+TEST(FlatTagLockstep, TagArrayMatchesRefCacheUnderRandomTraffic)
+{
+    // Double-entry bookkeeping for the split tag/payload planes: the
+    // timing TagArray and the independently written AoS RefCache consume
+    // one random operation stream and must agree on every residency
+    // answer, every eviction choice (address, HPC, and owner), and the
+    // occupancy after each step. A mis-indexed slot in the flat layout
+    // diverges within a few hundred operations.
+    TagArray tags(16, 4);
+    RefCache ref(16, 4);
+    Rng rng(2024);
+    for (Cycle now = 1; now <= 20000; ++now) {
+        const Addr addr = static_cast<Addr>(rng.below(256)) * kLineBytes;
+        const auto hpc = static_cast<std::uint8_t>(rng.below(32));
+        const auto owner = static_cast<std::uint8_t>(rng.below(48));
+        switch (rng.below(4)) {
+        case 0: {
+            const auto evicted = tags.insert(addr, hpc, now, owner);
+            const auto refEvicted = ref.insert(addr, hpc, now, owner);
+            ASSERT_EQ(evicted.has_value(), refEvicted.has_value())
+                << "eviction disagreement at cycle " << now;
+            if (evicted.has_value()) {
+                ASSERT_EQ(evicted->lineAddr, refEvicted->lineAddr);
+                ASSERT_EQ(evicted->hpc, refEvicted->hpc);
+                ASSERT_EQ(evicted->owner, refEvicted->owner);
+            }
+            break;
+        }
+        case 1: {
+            const bool hit = tags.access(addr, hpc, now, owner);
+            ASSERT_EQ(hit, ref.resident(addr))
+                << "hit disagreement at cycle " << now;
+            if (hit)
+                ref.touch(addr, hpc, now, owner);
+            break;
+        }
+        case 2:
+            ASSERT_EQ(tags.probe(addr), ref.resident(addr));
+            break;
+        default:
+            ASSERT_EQ(tags.invalidate(addr), ref.invalidate(addr));
+            break;
+        }
+        ASSERT_EQ(tags.validLines(), ref.validLines());
+    }
+    tags.audit(20001);
 }
 
 } // namespace

@@ -7,9 +7,11 @@
 
 #include <memory>
 
+#include "common/rng.hpp"
 #include "core/gpu.hpp"
 #include "lb/linebacker.hpp"
 #include "testing/lockstep.hpp"
+#include "testing/ref_cache.hpp"
 #include "workload/pattern.hpp"
 
 namespace lbsim
@@ -226,6 +228,62 @@ TEST_F(LinebackerFixture, LockstepCatchesFabricatedVttEntry)
         gpu->sm(0).l1().access(access, gpu->now());
     EXPECT_EQ(outcome, L1Outcome::VictimHit);
     EXPECT_GT(lockstep.mismatchCount(), 0u);
+}
+
+TEST(FlatVttLockstep, VttMatchesRefCacheAcrossPartitions)
+{
+    // A P-partition x W-way VTT set is architecturally one P*W-way LRU
+    // cache whose flattened way index is partition*W + way (the order
+    // Eq. 2 exposes): invalid-first fill in partition order,
+    // cross-partition LRU with ties toward the lower partition, refresh
+    // on re-insert, and an LRU touch on probe hits. Drive the set-major
+    // tag plane and the AoS RefCache with one random stream and require
+    // agreement on every residency answer and on occupancy after each
+    // step; a reference eviction must always have left the VTT too.
+    GpuConfig gpu;
+    LbConfig lb;
+    SimStats stats;
+    VictimTagTable vtt(gpu, lb, &stats);
+    vtt.setActivePartitions(3);
+    RefCache ref(vtt.sets(), 3 * vtt.ways());
+    Rng rng(77);
+    // 64 lines per set across four sets: far past the 12-entry
+    // per-set capacity, so the LRU path runs constantly.
+    const auto poolAddr = [&vtt](std::uint32_t k) {
+        return static_cast<Addr>(k / 4 * vtt.sets() + k % 4) *
+               kLineBytes;
+    };
+    for (Cycle now = 1; now <= 20000; ++now) {
+        const Addr addr = poolAddr(rng.below(256));
+        switch (rng.below(4)) {
+        case 0: {
+            RegNum reg = 0;
+            ASSERT_TRUE(vtt.insert(addr, now, reg));
+            const auto evicted = ref.insert(addr, 0, now, 0);
+            if (evicted.has_value()) {
+                ASSERT_FALSE(vtt.probe(evicted->lineAddr, now).hit)
+                    << "VTT kept a line the reference evicted at cycle "
+                    << now;
+            }
+            break;
+        }
+        case 1: {
+            const bool hit = vtt.probe(addr, now).hit;
+            ASSERT_EQ(hit, ref.resident(addr))
+                << "probe disagreement at cycle " << now;
+            if (hit)
+                ref.touch(addr, 0, now, 0);
+            break;
+        }
+        case 2:
+            ASSERT_EQ(vtt.invalidate(addr), ref.invalidate(addr));
+            break;
+        default:
+            ASSERT_EQ(vtt.validLines(), ref.validLines());
+            break;
+        }
+    }
+    vtt.audit(20001);
 }
 
 } // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/scheduler.hpp"
 
 namespace lbsim
@@ -25,6 +27,25 @@ makeWarps(std::size_t count)
     return warps;
 }
 
+/**
+ * The stripe's slots in ascending launch order — what Sm::schedOrder_
+ * maintains incrementally for each scheduler.
+ */
+std::vector<std::uint32_t>
+orderOf(const std::vector<Warp> &warps, const GtoScheduler &sched)
+{
+    std::vector<std::uint32_t> order;
+    for (const Warp &warp : warps) {
+        if (sched.covers(warp.smWarpId))
+            order.push_back(warp.smWarpId);
+    }
+    std::sort(order.begin(), order.end(),
+              [&warps](std::uint32_t a, std::uint32_t b) {
+                  return warps[a].launchOrder < warps[b].launchOrder;
+              });
+    return order;
+}
+
 const std::function<bool(const Warp &)> kAlwaysReady =
     [](const Warp &warp) { return warp.valid && warp.active &&
                                   !warp.finished; };
@@ -37,19 +58,21 @@ TEST(GtoScheduler, PicksOldestFirst)
     warps[1].launchOrder = 12;
     warps[2].launchOrder = 1; // Oldest.
     warps[3].launchOrder = 11;
-    EXPECT_EQ(sched.pick(warps, kAlwaysReady), 2);
+    EXPECT_EQ(sched.pick(warps, orderOf(warps, sched), kAlwaysReady), 2);
 }
 
 TEST(GtoScheduler, GreedyStaysOnLastIssued)
 {
     GtoScheduler sched(0, 1);
     auto warps = makeWarps(4);
-    const std::int32_t first = sched.pick(warps, kAlwaysReady);
+    const std::int32_t first =
+        sched.pick(warps, orderOf(warps, sched), kAlwaysReady);
     ASSERT_GE(first, 0);
     sched.issued(static_cast<std::uint32_t>(first));
     // Even if another warp is older by perturbation, greedy sticks.
     warps[3].launchOrder = 0;
-    EXPECT_EQ(sched.pick(warps, kAlwaysReady), first);
+    EXPECT_EQ(sched.pick(warps, orderOf(warps, sched), kAlwaysReady),
+              first);
 }
 
 TEST(GtoScheduler, FallsBackToOldestWhenGreedyBlocked)
@@ -60,7 +83,8 @@ TEST(GtoScheduler, FallsBackToOldestWhenGreedyBlocked)
     const auto ready_except_1 = [](const Warp &warp) {
         return warp.smWarpId != 1;
     };
-    EXPECT_EQ(sched.pick(warps, ready_except_1), 0);
+    EXPECT_EQ(sched.pick(warps, orderOf(warps, sched), ready_except_1),
+              0);
 }
 
 TEST(GtoScheduler, HonorsStripeAssignment)
@@ -75,7 +99,17 @@ TEST(GtoScheduler, HonorsStripeAssignment)
     const auto not_issued_yet = [](const Warp &warp) {
         return warp.valid;
     };
-    EXPECT_EQ(sched.pick(warps, not_issued_yet), 5);
+    EXPECT_EQ(sched.pick(warps, orderOf(warps, sched), not_issued_yet),
+              5);
+}
+
+TEST(GtoScheduler, CoversMatchesStripe)
+{
+    GtoScheduler sched(2, 4);
+    EXPECT_TRUE(sched.covers(2));
+    EXPECT_TRUE(sched.covers(6));
+    EXPECT_FALSE(sched.covers(0));
+    EXPECT_FALSE(sched.covers(3));
 }
 
 TEST(GtoScheduler, ReturnsMinusOneWhenNothingReady)
@@ -83,7 +117,7 @@ TEST(GtoScheduler, ReturnsMinusOneWhenNothingReady)
     GtoScheduler sched(0, 1);
     auto warps = makeWarps(4);
     const auto nothing = [](const Warp &) { return false; };
-    EXPECT_EQ(sched.pick(warps, nothing), -1);
+    EXPECT_EQ(sched.pick(warps, orderOf(warps, sched), nothing), -1);
 }
 
 TEST(GtoScheduler, ResetForgetsGreedyPointer)
@@ -95,7 +129,7 @@ TEST(GtoScheduler, ResetForgetsGreedyPointer)
     warps[3].launchOrder = 0; // Unambiguously oldest.
     sched.issued(1);
     sched.reset();
-    EXPECT_EQ(sched.pick(warps, kAlwaysReady), 3);
+    EXPECT_EQ(sched.pick(warps, orderOf(warps, sched), kAlwaysReady), 3);
 }
 
 } // namespace

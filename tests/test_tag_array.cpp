@@ -61,6 +61,64 @@ TEST(TagArray, EvictsLruWithinSet)
     EXPECT_TRUE(tags.probe(lineAddr(8)));
 }
 
+TEST(TagArray, EvictionOrderGolden)
+{
+    // Pinned ahead of the structure-of-arrays tag-plane relayout: the
+    // exact eviction sequence for a scripted access pattern, including
+    // the lowest-way tie-break on equal LRU timestamps and slot reuse
+    // after invalidation. Any layout change must reproduce this
+    // sequence field for field.
+    TagArray tags(2, 2); // set = line % 2
+    EXPECT_FALSE(tags.insert(lineAddr(0), 1, 10, 11).has_value());
+    EXPECT_FALSE(tags.insert(lineAddr(2), 2, 11, 12).has_value());
+    EXPECT_FALSE(tags.insert(lineAddr(1), 3, 12, 13).has_value());
+    EXPECT_FALSE(tags.insert(lineAddr(3), 4, 13, 14).has_value());
+
+    // Plain LRU: line 0 (lastUse 10) leaves set 0 first, carrying the
+    // hpc/owner it was filled with.
+    auto ev = tags.insert(lineAddr(4), 5, 20);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->lineAddr, lineAddr(0));
+    EXPECT_EQ(ev->hpc, 1);
+    EXPECT_EQ(ev->owner, 11);
+
+    // access() refreshes LRU state: touching line 2 makes line 4 the
+    // next victim.
+    EXPECT_TRUE(tags.access(lineAddr(2), 6, 30));
+    ev = tags.insert(lineAddr(6), 7, 40);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->lineAddr, lineAddr(4));
+    EXPECT_EQ(ev->hpc, 5);
+
+    // A resident refill refreshes in place without displacing anyone,
+    // so line 6 (lastUse 40) is the victim after line 2's refill at 50.
+    EXPECT_FALSE(tags.insert(lineAddr(2), 8, 50).has_value());
+    ev = tags.insert(lineAddr(8), 9, 60);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->lineAddr, lineAddr(6));
+    EXPECT_EQ(ev->hpc, 7);
+
+    // Equal timestamps break toward the lowest way: set 1 still holds
+    // line 1 (way 0) and line 3 (way 1); touch both at cycle 70.
+    EXPECT_TRUE(tags.access(lineAddr(1), 3, 70));
+    EXPECT_TRUE(tags.access(lineAddr(3), 4, 70));
+    ev = tags.insert(lineAddr(5), 10, 80);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->lineAddr, lineAddr(1));
+
+    // invalidate() reopens the slot: the next fill of set 1 takes the
+    // freed way silently, and the one after evicts the older of the
+    // survivors (line 5, lastUse 80, vs line 7, lastUse 90).
+    EXPECT_TRUE(tags.invalidate(lineAddr(3)));
+    EXPECT_FALSE(tags.insert(lineAddr(7), 11, 90).has_value());
+    ev = tags.insert(lineAddr(9), 12, 100);
+    ASSERT_TRUE(ev.has_value());
+    EXPECT_EQ(ev->lineAddr, lineAddr(5));
+    EXPECT_EQ(ev->hpc, 10);
+
+    tags.audit(100);
+}
+
 TEST(TagArray, ReinsertRefreshesInsteadOfDuplicating)
 {
     TagArray tags(4, 2);

@@ -84,6 +84,55 @@ TEST_F(VttFixture, NoInsertWithoutActivePartitions)
     EXPECT_FALSE(vtt.insert(lineInSet(0, 0), 1, reg));
 }
 
+TEST_F(VttFixture, ReplacementOrderGolden)
+{
+    // Pinned ahead of the structure-of-arrays relayout: the exact
+    // (partition, way) placement sequence for a scripted insert/probe
+    // pattern across two partitions — invalid-slot preference in
+    // partition order, cross-partition LRU, refresh-in-place, and
+    // reuse of invalidated slots. The Eq. 2 register number witnesses
+    // the chosen slot.
+    vtt.setActivePartitions(2);
+    const std::uint32_t set = 3;
+    RegNum reg = 0;
+
+    // Fills take partition 0's ways in order, then spill to partition 1.
+    for (std::uint32_t k = 0; k < 4; ++k) {
+        ASSERT_TRUE(vtt.insert(lineInSet(set, k), 10 + k, reg));
+        EXPECT_EQ(reg, vtt.regNumFor(0, set, k)) << "fill " << k;
+    }
+    ASSERT_TRUE(vtt.insert(lineInSet(set, 4), 20, reg));
+    EXPECT_EQ(reg, vtt.regNumFor(1, set, 0));
+
+    // Re-inserting a resident line refreshes in place.
+    ASSERT_TRUE(vtt.insert(lineInSet(set, 2), 30, reg));
+    EXPECT_EQ(reg, vtt.regNumFor(0, set, 2));
+    EXPECT_EQ(vtt.validLines(), 5u);
+
+    // A probe hit also refreshes LRU state.
+    EXPECT_TRUE(vtt.probe(lineInSet(set, 0), 40).hit);
+
+    // Fill the rest of partition 1; the table is now full for this set.
+    for (std::uint32_t k = 5; k < 8; ++k) {
+        ASSERT_TRUE(vtt.insert(lineInSet(set, k), 40 + k, reg));
+        EXPECT_EQ(reg, vtt.regNumFor(1, set, k - 4));
+    }
+
+    // Cross-partition LRU: the oldest entry is line 1 (lastUse 11) in
+    // partition 0 way 1 — line 0 was refreshed at 40, line 2 at 30.
+    ASSERT_TRUE(vtt.insert(lineInSet(set, 8), 60, reg));
+    EXPECT_EQ(reg, vtt.regNumFor(0, set, 1));
+    EXPECT_FALSE(vtt.probe(lineInSet(set, 1), 61).hit);
+
+    // An invalidated slot is reused before any LRU victim, wherever the
+    // LRU entry lives.
+    EXPECT_TRUE(vtt.invalidate(lineInSet(set, 6)));
+    ASSERT_TRUE(vtt.insert(lineInSet(set, 9), 70, reg));
+    EXPECT_EQ(reg, vtt.regNumFor(1, set, 2));
+
+    vtt.audit(70);
+}
+
 TEST_F(VttFixture, LruReplacementWithinSet)
 {
     vtt.setActivePartitions(1);
