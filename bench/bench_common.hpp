@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "harness/experiment.hpp"
 #include "harness/oracle.hpp"
 #include "harness/report.hpp"
@@ -103,6 +104,11 @@ parseBenchArgs(int argc, char **argv, const std::string &bench_name)
             std::exit(2);
         }
     }
+    // CLI boundary: oversubscribing a small box only thrashes, so cap
+    // user-supplied counts at the hardware (library callers may still
+    // oversubscribe deliberately, e.g. the parallel-tick tests).
+    opts.threads = clampThreadArg(opts.threads, "--threads");
+    opts.smThreads = clampThreadArg(opts.smThreads, "--sm-threads");
     return opts;
 }
 

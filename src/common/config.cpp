@@ -142,4 +142,42 @@ SchemeConfig::linebackerCacheExt()
     return s;
 }
 
+bool
+schemeByName(const std::string &name, std::uint32_t warp_limit,
+             SchemeConfig &out, bool &oracle_swl)
+{
+    oracle_swl = false;
+    if (name == "baseline") {
+        out = SchemeConfig::baseline();
+    } else if (name == "best-swl") {
+        if (warp_limit)
+            out = SchemeConfig::bestSwl(warp_limit);
+        else
+            oracle_swl = true;
+    } else if (name == "ccws") {
+        out = SchemeConfig::ccws();
+    } else if (name == "pcal") {
+        out = SchemeConfig::pcal();
+    } else if (name == "cerf") {
+        out = SchemeConfig::cerf();
+    } else if (name == "linebacker" || name == "lb") {
+        out = SchemeConfig::linebacker();
+    } else if (name == "vc") {
+        out = SchemeConfig::victimCachingAll();
+    } else if (name == "svc") {
+        out = SchemeConfig::selectiveVictimCaching();
+    } else if (name == "pcal-svc") {
+        out = SchemeConfig::pcalSvc();
+    } else if (name == "pcal-cerf") {
+        out = SchemeConfig::pcalCerf();
+    } else if (name == "cache-ext") {
+        out = SchemeConfig::cacheExtension();
+    } else if (name == "lb-cache-ext") {
+        out = SchemeConfig::linebackerCacheExt();
+    } else {
+        return false;
+    }
+    return true;
+}
+
 } // namespace lbsim

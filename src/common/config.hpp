@@ -231,4 +231,15 @@ struct SchemeConfig
     static SchemeConfig linebackerCacheExt();
 };
 
+/**
+ * Map a user-facing scheme name (the lbsim_cli / lbsimd vocabulary:
+ * "baseline", "best-swl", "ccws", "pcal", "cerf", "linebacker"/"lb",
+ * "vc", "svc", "pcal-svc", "pcal-cerf", "cache-ext", "lb-cache-ext")
+ * onto its SchemeConfig. "best-swl" with @p warp_limit 0 has no static
+ * configuration — it requires the oracle sweep — so @p oracle_swl is
+ * set and @p out left untouched. Returns false for an unknown name.
+ */
+bool schemeByName(const std::string &name, std::uint32_t warp_limit,
+                  SchemeConfig &out, bool &oracle_swl);
+
 } // namespace lbsim

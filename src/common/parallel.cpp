@@ -1,6 +1,7 @@
 #include "common/parallel.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace lbsim
 {
@@ -21,6 +22,19 @@ backoff(unsigned &spins, unsigned limit)
 }
 
 } // namespace
+
+unsigned
+clampThreadArg(unsigned requested, const char *flag_name)
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (requested == 0 || hw == 0 || requested <= hw)
+        return requested;
+    std::fprintf(stderr,
+                 "warning: %s %u exceeds the %u hardware thread(s); "
+                 "clamping to %u\n",
+                 flag_name, requested, hw, hw);
+    return hw;
+}
 
 SmWorkerPool::SmWorkerPool(unsigned threads, std::size_t shards)
     : threads_(std::max(1u,

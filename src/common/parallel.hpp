@@ -39,6 +39,17 @@
 namespace lbsim
 {
 
+/**
+ * Clamp a user-supplied thread-count argument to the machine's hardware
+ * concurrency, warning once on stderr when it was lowered. 0 (meaning
+ * "auto") passes through untouched. CLI-boundary only: library code and
+ * tests may still oversubscribe deliberately (the worker pool handles
+ * it correctly, just slowly), but a human typing --threads 32 on a
+ * 1-core box is better served by the clamp than by thrashing.
+ * @param flag_name Flag to name in the warning (e.g. "--threads").
+ */
+unsigned clampThreadArg(unsigned requested, const char *flag_name);
+
 /** One CPU-friendly spin-wait step (pause/yield instruction). */
 inline void
 cpuRelax()

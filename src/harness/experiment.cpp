@@ -211,9 +211,13 @@ executeCellIsolated(const ExperimentCell &cell, CellResult &result,
         if (iso.status != IsolationStatus::Crashed ||
             attempt >= options.maxRetries)
             break;
-        std::this_thread::sleep_for(std::chrono::milliseconds(
-            static_cast<std::uint64_t>(options.retryBackoffMs)
-            << attempt));
+        const std::uint64_t delay_ms =
+            static_cast<std::uint64_t>(options.retryBackoffMs) << attempt;
+        if (options.retrySleep)
+            options.retrySleep(attempt, delay_ms);
+        else
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay_ms));
     }
 
     switch (iso.status) {
@@ -271,6 +275,22 @@ executeCellIsolated(const ExperimentCell &cell, CellResult &result,
 
 } // namespace
 
+CellResult
+runExperimentCell(const ExperimentCell &cell, const EngineOptions &options,
+                  std::size_t index)
+{
+    CellResult result;
+    result.index = index;
+    result.app = cell.app;
+    result.scheme = cell.scheme;
+    result.variant = cell.variant;
+    if (options.isolateCells)
+        executeCellIsolated(cell, result, options);
+    else
+        executeCellInProcess(cell, result);
+    return result;
+}
+
 ExperimentEngine::ExperimentEngine(EngineOptions options)
     : options_(std::move(options))
 {
@@ -313,14 +333,7 @@ ExperimentEngine::run(const ExperimentPlan &plan) const
                 return;
             const ExperimentCell &cell = plan.cells()[i];
             CellResult &result = results[i];
-            result.index = i;
-            result.app = cell.app;
-            result.scheme = cell.scheme;
-            result.variant = cell.variant;
-            if (options_.isolateCells)
-                executeCellIsolated(cell, result, options_);
-            else
-                executeCellInProcess(cell, result);
+            result = runExperimentCell(cell, options_, i);
 
             const std::size_t done = completed.fetch_add(1) + 1;
             MutexLock lock(report_mutex);

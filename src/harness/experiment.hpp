@@ -32,6 +32,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <string>
@@ -186,7 +187,24 @@ struct EngineOptions
     unsigned maxRetries = 1;
     /** Base backoff before a retry; doubles per attempt. */
     unsigned retryBackoffMs = 50;
+    /**
+     * Test seam for the retry backoff: when set, called with the
+     * zero-based attempt number and the computed delay instead of
+     * sleeping, so tests can assert the schedule without waiting it out.
+     */
+    std::function<void(unsigned attempt, std::uint64_t delayMs)> retrySleep;
 };
+
+/**
+ * Execute one cell under @p options (isolation, timeout, and retry
+ * policy included) and return its result. This is the single-cell core
+ * of ExperimentEngine::run, exposed so the sweep service can schedule
+ * cells one at a time with its own queueing; @p index is echoed into
+ * CellResult::index.
+ */
+CellResult runExperimentCell(const ExperimentCell &cell,
+                             const EngineOptions &options,
+                             std::size_t index = 0);
 
 /** Executes experiment plans on a worker-thread pool. */
 class ExperimentEngine

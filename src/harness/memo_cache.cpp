@@ -1,9 +1,11 @@
 #include "harness/memo_cache.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <vector>
 
 namespace lbsim
 {
@@ -24,13 +26,14 @@ MemoCache::schemaHeader()
 {
     // Bump the trailing number whenever the on-disk format (not the key
     // semantics — those live in the key hash) changes; files carrying a
-    // different header are discarded instead of misread. Schema 3:
-    // metrics values carry the run outcome, and abnormally-ended runs
-    // are never persisted.
-    return "#lbsim-memo-schema 3";
+    // different header are discarded instead of misread. Schema 4: the
+    // store is a CRC-framed lbsim-journal-v1 file whose first record is
+    // this header; schema 3 and older were line-oriented CSV.
+    return "#lbsim-memo-schema 4";
 }
 
-MemoCache::MemoCache(std::string path) : path_(std::move(path))
+MemoCache::MemoCache(std::string path)
+    : path_(std::move(path)), journal_(path_)
 {
     const char *disable = std::getenv("LBSIM_NO_CACHE");
     enabled_ = !(disable && disable[0] == '1');
@@ -42,7 +45,7 @@ MemoCache::defaultPath()
 {
     if (const char *env = std::getenv("LBSIM_CACHE_PATH"))
         return env;
-    return "lbsim_simcache.csv";
+    return "lbsim_simcache.journal";
 }
 
 MemoCache &
@@ -69,22 +72,38 @@ MemoCache::load()
     // Called from the constructor only, but the guarded members it
     // fills demand the capability regardless of call site.
     MutexLock lock(mutex_);
-    std::ifstream in(path_);
-    if (!in)
-        return;
-    std::string line;
-    if (!std::getline(in, line) || line != schemaHeader()) {
-        // Unversioned or foreign-schema file: ignore its contents and
-        // start over on the first store.
+    std::vector<std::string> records;
+    if (!journal_.recover(records, recovery_)) {
+        // Unreadable store: behave as empty but never append into a
+        // file we could not make sense of.
         rewriteOnStore_ = true;
         return;
     }
-    while (std::getline(in, line)) {
-        const auto sep = line.find('|');
+    if (recovery_.freshStart) {
+        // Missing file starts clean; an existing foreign / pre-journal
+        // file (e.g. a schema-3 CSV) must be rewritten before first use.
+        rewriteOnStore_ = std::ifstream(path_).good();
+        return;
+    }
+    if (records.empty() || records.front() != schemaHeader()) {
+        // Valid journal framing but another producer's (or an older
+        // build's) records: discard and start over on the first store.
+        rewriteOnStore_ = true;
+        return;
+    }
+    schemaOnDisk_ = true;
+    for (std::size_t i = 1; i < records.size(); ++i) {
+        const std::string &record = records[i];
+        // Concurrent first-stores can race a duplicate schema record
+        // into the middle of the file; skip it like any other
+        // non-"key|value" payload.
+        if (record == schemaHeader())
+            continue;
+        const auto sep = record.find('|');
         if (sep == std::string::npos)
             continue;
         // Last write wins, matching append order.
-        entries_[line.substr(0, sep)] = line.substr(sep + 1);
+        entries_[record.substr(0, sep)] = record.substr(sep + 1);
     }
 }
 
@@ -101,18 +120,48 @@ MemoCache::lookup(const std::string &key) const
 }
 
 void
+MemoCache::checkpointLocked()
+{
+    std::vector<std::string> records;
+    records.reserve(entries_.size() + 1);
+    records.push_back(schemaHeader());
+    // Deterministic record order keeps compacted journals comparable
+    // across runs regardless of map iteration order.
+    std::vector<const std::pair<const std::string, std::string> *> live;
+    live.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        live.push_back(&entry);
+    std::sort(live.begin(), live.end(),
+              [](const auto *a, const auto *b) {
+                  return a->first < b->first;
+              });
+    for (const auto *entry : live)
+        records.push_back(entry->first + '|' + entry->second);
+    if (journal_.checkpoint(records)) {
+        rewriteOnStore_ = false;
+        schemaOnDisk_ = true;
+    }
+}
+
+void
 MemoCache::append(const std::string &key, const std::string &value)
 {
-    // Caller holds mutex_.
-    const bool fresh = rewriteOnStore_ || !std::ifstream(path_).good();
-    std::ofstream out(path_, fresh ? std::ios::trunc : std::ios::app);
-    if (!out)
+    if (rewriteOnStore_) {
+        // Foreign or stale-schema file: replace it wholesale with the
+        // live map (which already contains this key).
+        checkpointLocked();
         return;
-    if (fresh) {
-        out << schemaHeader() << '\n';
-        rewriteOnStore_ = false;
     }
-    out << key << '|' << value << '\n';
+    if (!schemaOnDisk_) {
+        // First store into a fresh journal. Appending (rather than
+        // checkpointing) keeps this race-tolerant when two processes
+        // create the store simultaneously: the loser's extra schema
+        // record is skipped by load().
+        if (!journal_.append(schemaHeader()))
+            return;
+        schemaOnDisk_ = true;
+    }
+    journal_.append(key + '|' + value);
 }
 
 void
@@ -123,6 +172,24 @@ MemoCache::store(const std::string &key, const std::string &value)
     MutexLock lock(mutex_);
     entries_[key] = value;
     append(key, value);
+}
+
+void
+MemoCache::compact()
+{
+    if (!enabled_)
+        return;
+    MutexLock lock(mutex_);
+    checkpointLocked();
+}
+
+std::size_t
+MemoCache::size() const
+{
+    if (!enabled_)
+        return 0;
+    MutexLock lock(mutex_);
+    return entries_.size();
 }
 
 std::string

@@ -6,12 +6,20 @@
  * runs; with every bench a separate process, a small on-disk cache keyed
  * by a config hash avoids re-simulating identical points. Entries are
  * invalidated implicitly by the key hash covering all relevant inputs,
- * and explicitly by a schema-version header: a cache file written by an
+ * and explicitly by a schema-version record: a store written by an
  * older (or newer) build is discarded wholesale rather than misread.
+ *
+ * Since schema 4 the store is a CRC-framed write-ahead journal
+ * (lbsim-journal-v1, see service/journal.hpp) instead of an in-place
+ * CSV append: a writer killed mid-store can tear at most the final
+ * frame, which recovery truncates on the next load instead of
+ * misparsing — the durability contract the lbsimd sweep service builds
+ * its kill-and-restart resume on. Each record is "key|value"; re-stores
+ * append (last write wins on load) and compact() folds them out.
  *
  * The store is thread-safe with single-writer semantics: the whole file
  * is loaded into memory once, lookups are in-memory map reads, and all
- * mutations (map insert + file append) happen under one mutex. In
+ * mutations (map insert + journal append) happen under one mutex. In
  * addition, getOrCompute() deduplicates in-flight computations, so when
  * several experiment-engine workers race toward the same cell (e.g. the
  * shared Best-SWL oracle sweep) the simulation is paid exactly once and
@@ -30,6 +38,7 @@
 #include <unordered_map>
 
 #include "common/thread_safety.hpp"
+#include "service/journal.hpp"
 
 namespace lbsim
 {
@@ -44,7 +53,7 @@ class MemoCache
     /** Look up @p key; returns the stored value if present. */
     std::optional<std::string> lookup(const std::string &key) const;
 
-    /** Store @p value under @p key (appends to the file). */
+    /** Store @p value under @p key (appends a journal record). */
     void store(const std::string &key, const std::string &value);
 
     /**
@@ -62,9 +71,9 @@ class MemoCache
         std::string value;
         /**
          * False keeps the value out of the store entirely (no map entry,
-         * no file append) — the contract abnormally-ended runs rely on:
-         * a hang or fault-degraded run must never be replayed from cache
-         * as if it were a healthy result.
+         * no journal append) — the contract abnormally-ended runs rely
+         * on: a hang or fault-degraded run must never be replayed from
+         * cache as if it were a healthy result.
          */
         bool persist = true;
     };
@@ -77,6 +86,19 @@ class MemoCache
     std::string
     getOrComputeIf(const std::string &key,
                    const std::function<ComputeResult()> &compute);
+
+    /**
+     * Compact the journal: rewrite it (temp file + rename) with one
+     * record per live key, folding out superseded re-stores. The
+     * daemon's graceful-shutdown checkpoint.
+     */
+    void compact();
+
+    /** Live entry count (0 when disabled). */
+    std::size_t size() const;
+
+    /** What journal recovery found when this cache loaded its file. */
+    const JournalRecovery &recovery() const { return recovery_; }
 
     /** True if the cache is usable (not disabled via LBSIM_NO_CACHE). */
     bool enabled() const { return enabled_; }
@@ -91,20 +113,25 @@ class MemoCache
      */
     static MemoCache &shared();
 
-    /** Version tag written as the first line of every cache file. */
+    /** Schema record written as the first journal record. */
     static const char *schemaHeader();
 
   private:
     void load();
     void append(const std::string &key, const std::string &value)
         LB_REQUIRES(mutex_);
+    void checkpointLocked() LB_REQUIRES(mutex_);
 
     std::string path_;
     bool enabled_;
+    JournalRecovery recovery_;
 
     mutable Mutex mutex_;
+    Journal journal_ LB_GUARDED_BY(mutex_);
     /** File needs rewriting before the first append (bad/old schema). */
     bool rewriteOnStore_ LB_GUARDED_BY(mutex_) = false;
+    /** Schema record already present on disk. */
+    bool schemaOnDisk_ LB_GUARDED_BY(mutex_) = false;
     std::unordered_map<std::string, std::string> entries_
         LB_GUARDED_BY(mutex_);
     std::unordered_map<std::string, std::shared_future<std::string>>

@@ -1,12 +1,11 @@
 #include "harness/perf_point.hpp"
 
-#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
-#include <map>
 #include <sstream>
 
+#include "common/fs.hpp"
 #include "common/json.hpp"
 
 namespace lbsim
@@ -14,259 +13,12 @@ namespace lbsim
 namespace
 {
 
-/**
- * Minimal recursive-descent JSON reader, scoped to the point format:
- * objects, strings, numbers, booleans. Arrays and null are accepted
- * syntactically (a future schema bump may need them) but the point
- * loader only consumes the value shapes v1 emits.
- */
-class JsonReader
-{
-  public:
-    struct Value
-    {
-        enum class Kind { Null, Bool, Number, String, Object, Array };
-        Kind kind = Kind::Null;
-        bool boolean = false;
-        double number = 0.0;
-        std::string text;
-        std::vector<std::pair<std::string, Value>> members;
-        std::vector<Value> elements;
-
-        const Value *
-        member(const std::string &key) const
-        {
-            for (const auto &entry : members) {
-                if (entry.first == key)
-                    return &entry.second;
-            }
-            return nullptr;
-        }
-    };
-
-    JsonReader(const std::string &text, std::string *error)
-        : text_(text), error_(error)
-    {}
-
-    bool
-    parseDocument(Value &out)
-    {
-        skipSpace();
-        if (!parseValue(out))
-            return false;
-        skipSpace();
-        if (pos_ != text_.size())
-            return fail("trailing characters after JSON value");
-        return true;
-    }
-
-  private:
-    bool
-    fail(const std::string &why)
-    {
-        if (error_ && error_->empty()) {
-            std::ostringstream msg;
-            msg << why << " (offset " << pos_ << ")";
-            *error_ = msg.str();
-        }
-        return false;
-    }
-
-    void
-    skipSpace()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-            ++pos_;
-        }
-    }
-
-    bool
-    literal(const char *word)
-    {
-        const std::size_t len = std::string(word).size();
-        if (text_.compare(pos_, len, word) != 0)
-            return false;
-        pos_ += len;
-        return true;
-    }
-
-    bool
-    parseValue(Value &out)
-    {
-        skipSpace();
-        if (pos_ >= text_.size())
-            return fail("unexpected end of input");
-        const char c = text_[pos_];
-        if (c == '{')
-            return parseObject(out);
-        if (c == '[')
-            return parseArray(out);
-        if (c == '"') {
-            out.kind = Value::Kind::String;
-            return parseString(out.text);
-        }
-        if (c == 't') {
-            if (!literal("true"))
-                return fail("bad literal");
-            out.kind = Value::Kind::Bool;
-            out.boolean = true;
-            return true;
-        }
-        if (c == 'f') {
-            if (!literal("false"))
-                return fail("bad literal");
-            out.kind = Value::Kind::Bool;
-            out.boolean = false;
-            return true;
-        }
-        if (c == 'n') {
-            if (!literal("null"))
-                return fail("bad literal");
-            out.kind = Value::Kind::Null;
-            return true;
-        }
-        return parseNumber(out);
-    }
-
-    bool
-    parseObject(Value &out)
-    {
-        out.kind = Value::Kind::Object;
-        ++pos_; // '{'
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == '}') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            skipSpace();
-            std::string key;
-            if (pos_ >= text_.size() || text_[pos_] != '"')
-                return fail("expected object key");
-            if (!parseString(key))
-                return false;
-            skipSpace();
-            if (pos_ >= text_.size() || text_[pos_] != ':')
-                return fail("expected ':' after key");
-            ++pos_;
-            Value value;
-            if (!parseValue(value))
-                return false;
-            out.members.emplace_back(std::move(key), std::move(value));
-            skipSpace();
-            if (pos_ >= text_.size())
-                return fail("unterminated object");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == '}') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or '}' in object");
-        }
-    }
-
-    bool
-    parseArray(Value &out)
-    {
-        out.kind = Value::Kind::Array;
-        ++pos_; // '['
-        skipSpace();
-        if (pos_ < text_.size() && text_[pos_] == ']') {
-            ++pos_;
-            return true;
-        }
-        while (true) {
-            Value value;
-            if (!parseValue(value))
-                return false;
-            out.elements.push_back(std::move(value));
-            skipSpace();
-            if (pos_ >= text_.size())
-                return fail("unterminated array");
-            if (text_[pos_] == ',') {
-                ++pos_;
-                continue;
-            }
-            if (text_[pos_] == ']') {
-                ++pos_;
-                return true;
-            }
-            return fail("expected ',' or ']' in array");
-        }
-    }
-
-    bool
-    parseString(std::string &out)
-    {
-        ++pos_; // opening quote
-        out.clear();
-        while (pos_ < text_.size()) {
-            const char c = text_[pos_++];
-            if (c == '"')
-                return true;
-            if (c == '\\') {
-                if (pos_ >= text_.size())
-                    return fail("unterminated escape");
-                const char esc = text_[pos_++];
-                switch (esc) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  case 'r': out += '\r'; break;
-                  case 'b': out += '\b'; break;
-                  case 'f': out += '\f'; break;
-                  default:
-                    return fail("unsupported escape sequence");
-                }
-                continue;
-            }
-            out += c;
-        }
-        return fail("unterminated string");
-    }
-
-    bool
-    parseNumber(Value &out)
-    {
-        const std::size_t start = pos_;
-        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
-            ++pos_;
-        bool digits = false;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '-' ||
-                text_[pos_] == '+')) {
-            if (std::isdigit(static_cast<unsigned char>(text_[pos_])))
-                digits = true;
-            ++pos_;
-        }
-        if (!digits)
-            return fail("expected a value");
-        out.kind = Value::Kind::Number;
-        out.number = std::strtod(text_.c_str() + start, nullptr);
-        if (!std::isfinite(out.number))
-            return fail("non-finite number");
-        return true;
-    }
-
-    const std::string &text_;
-    std::string *error_;
-    std::size_t pos_ = 0;
-};
-
 bool
-numberField(const JsonReader::Value &obj, const char *key, double &out,
+numberField(const JsonValue &obj, const char *key, double &out,
             std::string *error)
 {
-    const JsonReader::Value *v = obj.member(key);
-    if (!v || v->kind != JsonReader::Value::Kind::Number) {
+    const JsonValue *v = obj.member(key);
+    if (!v || !v->isNumber()) {
         if (error && error->empty())
             *error = std::string("missing or non-numeric field \"") + key +
                      "\"";
@@ -354,10 +106,9 @@ namespace
 {
 
 bool
-pointFromValue(const JsonReader::Value &root, PerfPoint &out,
-               std::string *err)
+pointFromValue(const JsonValue &root, PerfPoint &out, std::string *err)
 {
-    if (root.kind != JsonReader::Value::Kind::Object) {
+    if (!root.isObject()) {
         *err = "perf point is not a JSON object";
         return false;
     }
@@ -368,8 +119,8 @@ pointFromValue(const JsonReader::Value &root, PerfPoint &out,
         return false;
     point.version = static_cast<int>(number);
 
-    const JsonReader::Value *label = root.member("label");
-    if (!label || label->kind != JsonReader::Value::Kind::String) {
+    const JsonValue *label = root.member("label");
+    if (!label || !label->isString()) {
         *err = "missing or non-string field \"label\"";
         return false;
     }
@@ -379,8 +130,8 @@ pointFromValue(const JsonReader::Value &root, PerfPoint &out,
         return false;
     point.timestamp = static_cast<std::int64_t>(number);
 
-    const JsonReader::Value *smoke = root.member("smoke");
-    if (!smoke || smoke->kind != JsonReader::Value::Kind::Bool) {
+    const JsonValue *smoke = root.member("smoke");
+    if (!smoke || smoke->kind != JsonValue::Kind::Bool) {
         *err = "missing or non-boolean field \"smoke\"";
         return false;
     }
@@ -405,14 +156,14 @@ pointFromValue(const JsonReader::Value &root, PerfPoint &out,
         return false;
     point.peakRssKb = static_cast<std::int64_t>(number);
 
-    const JsonReader::Value *schemes = root.member("schemes");
-    if (!schemes || schemes->kind != JsonReader::Value::Kind::Object) {
+    const JsonValue *schemes = root.member("schemes");
+    if (!schemes || !schemes->isObject()) {
         *err = "missing or non-object field \"schemes\"";
         return false;
     }
     for (const auto &entry : schemes->members) {
-        const JsonReader::Value &body = entry.second;
-        if (body.kind != JsonReader::Value::Kind::Object) {
+        const JsonValue &body = entry.second;
+        if (!body.isObject()) {
             *err = "scheme \"" + entry.first + "\" is not an object";
             return false;
         }
@@ -454,9 +205,8 @@ parsePerfPoint(const std::string &text, PerfPoint &out, std::string *error)
     std::string *err = error ? error : &scratch;
     err->clear();
 
-    JsonReader::Value root;
-    JsonReader reader(text, err);
-    if (!reader.parseDocument(root))
+    JsonValue root;
+    if (!parseJson(text, root, err))
         return false;
     return pointFromValue(root, out, err);
 }
@@ -469,12 +219,11 @@ parsePerfPointArtifact(const std::string &text, PerfPoint &out,
     std::string *err = error ? error : &scratch;
     err->clear();
 
-    JsonReader::Value root;
-    JsonReader reader(text, err);
-    if (!reader.parseDocument(root))
+    JsonValue root;
+    if (!parseJson(text, root, err))
         return false;
-    if (root.kind == JsonReader::Value::Kind::Object) {
-        if (const JsonReader::Value *inner = root.member("point"))
+    if (root.isObject()) {
+        if (const JsonValue *inner = root.member("point"))
             return pointFromValue(*inner, out, err);
     }
     return pointFromValue(root, out, err);
@@ -551,19 +300,16 @@ appendTrajectoryPoint(const std::string &path, const PerfPoint &point,
         return false;
     points.push_back(point);
 
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-        if (error)
-            *error = "cannot open " + path + " for writing";
-        return false;
-    }
+    std::ostringstream out;
     out << "[\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         out << serializePerfPoint(points[i])
             << (i + 1 < points.size() ? "," : "") << "\n";
     }
     out << "]\n";
-    return out.good();
+    // Atomic replace: a kill mid-rewrite must never cost the committed
+    // trajectory history.
+    return atomicWriteFile(path, out.str(), error);
 }
 
 } // namespace lbsim

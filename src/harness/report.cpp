@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
+#include "common/fs.hpp"
 #include "common/json.hpp"
 #include "common/log.hpp"
 
@@ -144,11 +146,10 @@ void
 writeExperimentJson(const std::string &path, const std::string &bench,
                     bool smoke, const std::vector<CellResult> &results)
 {
-    std::ofstream out(path);
-    if (!out) {
-        logMessage(LogLevel::Warn, "cannot write %s", path.c_str());
-        return;
-    }
+    // Built in memory and written atomically (temp + rename): a bench
+    // killed mid-write must never leave a torn BENCH_*.json for the CI
+    // determinism diff to choke on.
+    std::ostringstream out;
     JsonWriter json(out);
     json.beginObject();
     json.field("bench", bench);
@@ -229,6 +230,10 @@ writeExperimentJson(const std::string &path, const std::string &bench,
     json.endArray();
     json.endObject();
     out << '\n';
+    std::string why;
+    if (!atomicWriteFile(path, out.str(), &why))
+        logMessage(LogLevel::Warn, "cannot write %s: %s", path.c_str(),
+                   why.c_str());
 }
 
 void

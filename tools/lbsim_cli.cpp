@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fs.hpp"
+#include "common/parallel.hpp"
 #include "harness/experiment.hpp"
 #include "harness/oracle.hpp"
 #include "harness/report.hpp"
@@ -164,8 +166,9 @@ main(int argc, char **argv)
         options.simSms = static_cast<std::uint32_t>(
             std::strtoul(v, nullptr, 10));
     if (const char *v = arg(argc, argv, "--sm-threads"))
-        options.smThreads = static_cast<std::uint32_t>(
-            std::strtoul(v, nullptr, 10));
+        options.smThreads = clampThreadArg(
+            static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10)),
+            "--sm-threads");
     if (const char *v = arg(argc, argv, "--cycles"))
         options.maxCycles = std::strtoull(v, nullptr, 10);
     options.useMemoCache = !flag(argc, argv, "--no-cache");
@@ -193,38 +196,13 @@ main(int argc, char **argv)
         apps.push_back(appById(app_id));
 
     const std::string name = scheme_name;
+    std::uint32_t warp_limit = 0;
+    if (const char *v = arg(argc, argv, "--warp-limit"))
+        warp_limit = static_cast<std::uint32_t>(
+            std::strtoul(v, nullptr, 10));
     SchemeConfig scheme;
     bool oracle_swl = false;
-    if (name == "baseline") {
-        scheme = SchemeConfig::baseline();
-    } else if (name == "best-swl") {
-        if (const char *v = arg(argc, argv, "--warp-limit")) {
-            scheme = SchemeConfig::bestSwl(static_cast<std::uint32_t>(
-                std::strtoul(v, nullptr, 10)));
-        } else {
-            oracle_swl = true;
-        }
-    } else if (name == "ccws") {
-        scheme = SchemeConfig::ccws();
-    } else if (name == "pcal") {
-        scheme = SchemeConfig::pcal();
-    } else if (name == "cerf") {
-        scheme = SchemeConfig::cerf();
-    } else if (name == "linebacker" || name == "lb") {
-        scheme = SchemeConfig::linebacker();
-    } else if (name == "vc") {
-        scheme = SchemeConfig::victimCachingAll();
-    } else if (name == "svc") {
-        scheme = SchemeConfig::selectiveVictimCaching();
-    } else if (name == "pcal-svc") {
-        scheme = SchemeConfig::pcalSvc();
-    } else if (name == "pcal-cerf") {
-        scheme = SchemeConfig::pcalCerf();
-    } else if (name == "cache-ext") {
-        scheme = SchemeConfig::cacheExtension();
-    } else if (name == "lb-cache-ext") {
-        scheme = SchemeConfig::linebackerCacheExt();
-    } else {
+    if (!schemeByName(name, warp_limit, scheme, oracle_swl)) {
         std::fprintf(stderr, "unknown scheme '%s'\n", scheme_name);
         usage();
         return 1;
@@ -247,8 +225,9 @@ main(int argc, char **argv)
 
     EngineOptions engine_opts;
     if (const char *v = arg(argc, argv, "--threads"))
-        engine_opts.threads = static_cast<unsigned>(
-            std::strtoul(v, nullptr, 10));
+        engine_opts.threads = clampThreadArg(
+            static_cast<unsigned>(std::strtoul(v, nullptr, 10)),
+            "--threads");
     engine_opts.printProgress = apps.size() > 1;
     const std::vector<CellResult> results =
         ExperimentEngine(engine_opts).run(plan);
@@ -303,11 +282,14 @@ main(int argc, char **argv)
     }
     if (first_hang) {
         if (const char *path = arg(argc, argv, "--hang-report")) {
-            std::ofstream out(path);
-            if (out)
-                out << first_hang->metrics.hangReportJson << '\n';
-            else
-                std::fprintf(stderr, "cannot write %s\n", path);
+            // Atomic write: a monitoring script watching for this file
+            // must never read a half-written report.
+            std::string why;
+            if (!atomicWriteFile(
+                    path, first_hang->metrics.hangReportJson + "\n",
+                    &why))
+                std::fprintf(stderr, "cannot write %s: %s\n", path,
+                             why.c_str());
         }
     }
 

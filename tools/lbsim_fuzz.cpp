@@ -33,6 +33,7 @@
 #include <sstream>
 #include <string>
 
+#include "common/fs.hpp"
 #include "resilience/isolation.hpp"
 #include "testing/fuzz.hpp"
 #include "testing/minimize.hpp"
@@ -150,11 +151,9 @@ runCase(const FuzzCase &fuzz_case, const ToolOptions &options)
 bool
 writeFile(const std::string &path, const std::string &contents)
 {
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << contents;
-    return static_cast<bool>(out);
+    // Atomic: a repro file must be replayable even if the fuzzer is
+    // killed the instant after the failure is found.
+    return lbsim::atomicWriteFile(path, contents);
 }
 
 int

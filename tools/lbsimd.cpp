@@ -1,0 +1,135 @@
+/**
+ * @file
+ * lbsimd: the persistent lbsim sweep daemon.
+ *
+ * Accepts ExperimentPlan submissions from lbsim_submit over a Unix
+ * domain socket, executes their cells on a worker pool with per-client
+ * fair queuing, admission control, and crash-isolated retries, and
+ * streams per-cell results back (see DESIGN.md §15 for the protocol
+ * and durability story).
+ *
+ * Lifecycle: SIGTERM/SIGINT trigger a graceful drain — in-flight cells
+ * finish, queued plans persist to the plans journal, both journals
+ * compact — and the process exits 0. A SIGKILL loses nothing durable:
+ * completed cells live in the memo journal, admitted plans in the
+ * plans journal, and the next start resumes the difference.
+ *
+ * Example:
+ *   lbsimd --socket /tmp/lbsimd.sock --workers 2 &
+ *   lbsim_submit --socket /tmp/lbsimd.sock --schemes baseline,linebacker
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/parallel.hpp"
+#include "service/server.hpp"
+
+namespace
+{
+
+lbsim::SweepServer *g_server = nullptr;
+
+void
+onTermSignal(int)
+{
+    // requestStop is async-signal-safe (atomic store + pipe write).
+    if (g_server)
+        g_server->requestStop();
+}
+
+void
+usage()
+{
+    std::puts(
+        "usage: lbsimd [options]\n"
+        "  --socket <path>        listen socket (default lbsimd.sock)\n"
+        "  --workers <n>          cell worker threads (default 1)\n"
+        "  --queue <n>            global queued-cell bound (default "
+        "1024)\n"
+        "  --client-quota <n>     per-client queued-cell bound "
+        "(default 512)\n"
+        "  --plans-journal <path> queued-plan persistence (default\n"
+        "                         lbsimd_plans.journal; 'none' "
+        "disables)\n"
+        "  --isolate              fork-isolate every cell\n"
+        "  --retry-backoff-ms <n> base crashed-cell backoff (default "
+        "50)\n"
+        "\n"
+        "SIGTERM drains gracefully; results are durable across "
+        "SIGKILL.");
+}
+
+const char *
+arg(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    }
+    return nullptr;
+}
+
+bool
+flag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lbsim;
+
+    if (flag(argc, argv, "--help") || flag(argc, argv, "-h")) {
+        usage();
+        return 0;
+    }
+
+    ServerOptions options;
+    if (const char *v = arg(argc, argv, "--socket"))
+        options.socketPath = v;
+    if (const char *v = arg(argc, argv, "--workers"))
+        options.workers = clampThreadArg(
+            static_cast<unsigned>(std::strtoul(v, nullptr, 10)),
+            "--workers");
+    if (const char *v = arg(argc, argv, "--queue"))
+        options.maxQueuedCells = std::strtoull(v, nullptr, 10);
+    if (const char *v = arg(argc, argv, "--client-quota"))
+        options.perClientQueuedCells = std::strtoull(v, nullptr, 10);
+    if (const char *v = arg(argc, argv, "--plans-journal"))
+        options.plansJournalPath =
+            std::strcmp(v, "none") == 0 ? "" : v;
+    if (flag(argc, argv, "--isolate"))
+        options.isolateCells = true;
+    if (const char *v = arg(argc, argv, "--retry-backoff-ms"))
+        options.retryBackoffMs = static_cast<unsigned>(
+            std::strtoul(v, nullptr, 10));
+
+    SweepServer server(options);
+    g_server = &server;
+    std::signal(SIGTERM, onTermSignal);
+    std::signal(SIGINT, onTermSignal);
+
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "lbsimd: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr, "lbsimd: listening on %s (%u worker%s)\n",
+                 options.socketPath.c_str(), server.options().workers,
+                 server.options().workers == 1 ? "" : "s");
+    const int rc = server.run();
+    std::fprintf(stderr, "lbsimd: drained, exiting\n");
+    g_server = nullptr;
+    return rc;
+}
